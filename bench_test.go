@@ -1,0 +1,229 @@
+package tapestry
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// paper-vs-measured). Each BenchmarkTable*/Benchmark<Claim> emits its table
+// via b.Log on the first iteration — run with:
+//
+//	go test -bench=. -benchmem -v
+//
+// cmd/benchtables prints the same tables at paper scale.
+
+import (
+	"fmt"
+	"testing"
+
+	"tapestry/internal/expt"
+)
+
+// logOnce prints the experiment table on the first iteration only.
+func logOnce(b *testing.B, i int, tab expt.Table) {
+	b.Helper()
+	if i == 0 {
+		b.Log("\n" + tab.String())
+	}
+}
+
+// --- E0: metric substrate validation -----------------------------------
+
+func BenchmarkMetricExpansion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.MetricExpansion(1))
+	}
+}
+
+// --- E1-E4: Table 1 columns --------------------------------------------
+
+func BenchmarkTable1Hops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.Table1Hops([]int{64, 256, 1024}, 512, 1))
+	}
+}
+
+func BenchmarkTable1Space(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.Table1Space([]int{64, 256, 1024}, 2))
+	}
+}
+
+func BenchmarkTable1InsertCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.Table1InsertCost([]int{64, 256}, 3))
+	}
+}
+
+func BenchmarkTable1Balance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.Table1Balance(256, 2048, 4))
+	}
+}
+
+// --- E5-E6: stretch and surrogate overhead ------------------------------
+
+func BenchmarkStretchVsDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.StretchVsDistance(256, 128, 2048, 5))
+	}
+}
+
+func BenchmarkSurrogateOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.SurrogateOverhead([]int{64, 256, 1024}, 256, 6))
+	}
+}
+
+// --- E7-E12: dynamic-membership machinery -------------------------------
+
+func BenchmarkNNCorrectness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.NNCorrectness(96, []int{4, 8, 16, 32, 96}, 7))
+	}
+}
+
+func BenchmarkMulticast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.Multicast(256, 8))
+	}
+}
+
+func BenchmarkAvailabilityDuringJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.AvailabilityDuringJoin(48, 24, 9))
+	}
+}
+
+func BenchmarkParallelJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.ParallelJoin(24, 4, 8, 10))
+	}
+}
+
+func BenchmarkDeletion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.Deletion(96, 11))
+	}
+}
+
+func BenchmarkOptimizePointers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.OptimizePointers(64, 16, 12))
+	}
+}
+
+// --- E13-E15: locality, general metrics, fault tolerance ----------------
+
+func BenchmarkStubLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.StubLocality(13))
+	}
+}
+
+func BenchmarkGeneralMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.GeneralMetric([]int{64, 128, 256}, 14))
+	}
+}
+
+func BenchmarkMultiRoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.MultiRoot(128, []int{1, 2, 4}, 0.15, 15))
+	}
+}
+
+func BenchmarkContinualOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.ContinualOptimization(64, 20))
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+func BenchmarkAblationSurrogate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.AblationSurrogate(128, 16))
+	}
+}
+
+func BenchmarkAblationR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.AblationR(128, []int{2, 3, 4}, 17))
+	}
+}
+
+func BenchmarkAblationBase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.AblationBase(128, []int{4, 8, 16, 32}, 18))
+	}
+}
+
+// --- Micro-benchmarks: per-operation costs -------------------------------
+
+func benchNetwork(b *testing.B, n int) (*Network, []*Node) {
+	b.Helper()
+	nw, err := New(RingSpace(n*4), Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes, err := nw.Grow(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw, nodes
+}
+
+func BenchmarkOpLocate(b *testing.B) {
+	_, nodes := benchNetwork(b, 256)
+	nodes[0].Publish("bench-object")
+	b.ResetTimer()
+	hops := 0
+	for i := 0; i < b.N; i++ {
+		res, _ := nodes[i%len(nodes)].Locate("bench-object")
+		if !res.Found {
+			b.Fatal("lost object")
+		}
+		hops += res.Hops
+	}
+	b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+}
+
+func BenchmarkOpPublish(b *testing.B) {
+	_, nodes := benchNetwork(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[i%len(nodes)].Publish(fmt.Sprintf("obj-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpJoinLeave(b *testing.B) {
+	nw, _ := benchNetwork(b, 128)
+	b.ResetTimer()
+	msgs := 0
+	for i := 0; i < b.N; i++ {
+		addrI, err := nw.freeAddr()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, cost, err := nw.AddNode(addrI)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += cost.Messages
+		if _, err := n.Leave(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "joinmsgs/op")
+}
+
+func BenchmarkOpMaintenanceEpoch(b *testing.B) {
+	nw, nodes := benchNetwork(b, 128)
+	for i := 0; i < 32; i++ {
+		nodes[i].Publish(fmt.Sprintf("m-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.RunMaintenance()
+	}
+}

@@ -1,0 +1,80 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation at configurable scale and prints them in paper style. This is
+// the reference generator behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtables            # full suite at default (paper-comparable) scale
+//	benchtables -quick     # reduced sizes for a fast smoke run
+//	benchtables -only E5   # a single experiment by id (E0..E15, A1..A3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tapestry/internal/expt"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes for a fast run")
+	only := flag.String("only", "", "run a single experiment id (E0..E15, A1..A3)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	sizes := []int{64, 256, 1024, 4096}
+	queries := 2048
+	nnN, stretchN, balanceN := 256, 512, 512
+	if *quick {
+		sizes = []int{64, 256}
+		queries = 256
+		nnN, stretchN, balanceN = 64, 128, 128
+	}
+	joinSizes := sizes
+	if len(joinSizes) > 3 {
+		joinSizes = joinSizes[:3] // dynamic joins at 4096 take minutes; cap
+	}
+
+	experiments := []struct {
+		id  string
+		run func() expt.Table
+	}{
+		{"E0", func() expt.Table { return expt.MetricExpansion(*seed) }},
+		{"E1", func() expt.Table { return expt.Table1Hops(sizes, queries, *seed) }},
+		{"E2", func() expt.Table { return expt.Table1Space(sizes, *seed+1) }},
+		{"E3", func() expt.Table { return expt.Table1InsertCost(joinSizes, *seed+2) }},
+		{"E4", func() expt.Table { return expt.Table1Balance(balanceN, 8*balanceN, *seed+3) }},
+		{"E5", func() expt.Table { return expt.StretchVsDistance(stretchN, 256, 4*queries, *seed+4) }},
+		{"E6", func() expt.Table { return expt.SurrogateOverhead(sizes, 512, *seed+5) }},
+		{"E7", func() expt.Table {
+			return expt.NNCorrectness(nnN, []int{4, 8, 16, 32, 64, nnN}, *seed+6)
+		}},
+		{"E8", func() expt.Table { return expt.Multicast(stretchN, *seed+7) }},
+		{"E9", func() expt.Table { return expt.AvailabilityDuringJoin(64, 32, *seed+8) }},
+		{"E10", func() expt.Table { return expt.ParallelJoin(32, 5, 8, *seed+9) }},
+		{"E11", func() expt.Table { return expt.Deletion(nnN, *seed+10) }},
+		{"E12", func() expt.Table { return expt.OptimizePointers(96, 24, *seed+11) }},
+		{"E13", func() expt.Table { return expt.StubLocality(*seed + 12) }},
+		{"E14", func() expt.Table { return expt.GeneralMetric([]int{64, 128, 256, 512}, *seed+13) }},
+		{"E15", func() expt.Table { return expt.MultiRoot(stretchN, []int{1, 2, 4}, 0.15, *seed+14) }},
+		{"E16", func() expt.Table { return expt.ContinualOptimization(nnN, *seed+18) }},
+		{"A1", func() expt.Table { return expt.AblationSurrogate(stretchN, *seed+15) }},
+		{"A2", func() expt.Table { return expt.AblationR(stretchN, []int{2, 3, 4}, *seed+16) }},
+		{"A3", func() expt.Table { return expt.AblationBase(stretchN, []int{4, 8, 16, 32}, *seed+17) }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		fmt.Printf("[%s]\n%s\n", e.id, e.run())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,92 @@
+// CDN: the locality story. Replicas of a popular object are placed in a few
+// stub networks of a transit-stub topology (the Internet model of §6.2).
+// Tapestry's in-network object pointers route each client to a NEARBY
+// replica; with the §6.3 local-branch optimization, clients that share a
+// stub with a replica never pay wide-area latency at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tapestry"
+)
+
+func main() {
+	net, err := tapestry.New(tapestry.TransitStubSpace(7), tapestry.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The default transit-stub space has 16 transit routers and 48 stubs of
+	// 8 hosts; put a node on 160 of the stub points.
+	nodes, err := net.Grow(160)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+
+	// Three replicas of one object, on far-apart nodes, published with the
+	// stub-local branch.
+	replicaIdx := []int{0, 60, 120}
+	for _, i := range replicaIdx {
+		if _, err := nodes[i].PublishLocal("launch-video.mp4"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replica on node %s (point %d)\n", nodes[i].ID(), nodes[i].Addr())
+	}
+
+	replicaStubs := map[int]bool{}
+	for _, i := range replicaIdx {
+		replicaStubs[net.RegionOf(nodes[i].Addr())] = true
+	}
+
+	var lat, hops float64
+	var stayedLocal, count, sameStub, sameStubLocal int
+	for q := 0; q < 400; q++ {
+		client := nodes[rng.Intn(len(nodes))]
+		res, cost, local := client.LocateLocal("launch-video.mp4")
+		if !res.Found {
+			log.Fatalf("client %s could not find the video", client.ID())
+		}
+		lat += cost.Distance
+		hops += float64(res.Hops)
+		if local {
+			stayedLocal++
+		}
+		if replicaStubs[net.RegionOf(client.Addr())] {
+			sameStub++
+			if local {
+				sameStubLocal++
+			}
+		}
+		count++
+	}
+	fmt.Printf("400 fetches: mean latency %.1f, mean hops %.1f, %d served without leaving the client's stub\n",
+		lat/float64(count), hops/float64(count), stayedLocal)
+	fmt.Printf("clients sharing a stub with a replica: %d, of which %d (%.0f%%) never left their stub\n",
+		sameStub, sameStubLocal, 100*float64(sameStubLocal)/float64(max(sameStub, 1)))
+
+	// Contrast: a single-replica object without local publication.
+	if _, err := nodes[0].Publish("cold-object.bin"); err != nil {
+		log.Fatal(err)
+	}
+	var coldLat float64
+	for q := 0; q < 400; q++ {
+		client := nodes[rng.Intn(len(nodes))]
+		res, cost := client.Locate("cold-object.bin")
+		if !res.Found {
+			log.Fatal("cold object lost")
+		}
+		coldLat += cost.Distance
+	}
+	fmt.Printf("single-replica baseline: mean latency %.1f (%.1fx the replicated CDN)\n",
+		coldLat/400, (coldLat/400)/(lat/float64(count)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+// Churn: the paper's headline feature exercised end to end — nodes join and
+// leave (gracefully and by crashing) while clients keep querying. Objects
+// stay available through voluntary churn; crash losses heal at the next
+// soft-state maintenance epoch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tapestry"
+)
+
+func main() {
+	net, err := tapestry.New(tapestry.RingSpace(2048), tapestry.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes, err := net.Grow(128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Six objects on six long-lived servers.
+	servers := nodes[:6]
+	names := make([]string, len(servers))
+	for i, s := range servers {
+		names[i] = fmt.Sprintf("service-%c", 'a'+i)
+		if _, err := s.Publish(names[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	isServer := map[string]bool{}
+	for _, s := range servers {
+		isServer[s.ID()] = true
+	}
+
+	probe := func(tag string) {
+		ok, total := 0, 0
+		all := net.Nodes()
+		for _, name := range names {
+			for t := 0; t < 8; t++ {
+				c := all[rng.Intn(len(all))]
+				if res, _ := c.Locate(name); res.Found {
+					ok++
+				}
+				total++
+			}
+		}
+		fmt.Printf("%-34s availability %d/%d, %s\n", tag, ok, total, net.Stats())
+	}
+	probe("baseline:")
+
+	// 32 graceful departures interleaved with 32 joins.
+	leaves := 0
+	for i := 0; i < 64; i++ {
+		if i%2 == 0 {
+			if _, err := net.Grow(1); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		all := net.Nodes()
+		victim := all[rng.Intn(len(all))]
+		if isServer[victim.ID()] {
+			continue
+		}
+		if _, err := victim.Leave(); err == nil {
+			leaves++
+		}
+	}
+	probe(fmt.Sprintf("after 32 joins + %d leaves:", leaves))
+
+	// Now a correlated crash: 12 random nodes fail without notice.
+	crashed := 0
+	for _, victim := range net.Nodes() {
+		if crashed == 12 {
+			break
+		}
+		if isServer[victim.ID()] {
+			continue
+		}
+		net.Fail(victim)
+		crashed++
+	}
+	removed := net.SweepFailures()
+	probe(fmt.Sprintf("after %d crashes (swept %d links):", crashed, removed))
+
+	// Soft state heals whatever the crashes orphaned.
+	net.RunMaintenance()
+	probe("after maintenance epoch:")
+
+	if v := net.CheckConsistency(); len(v) != 0 {
+		log.Fatalf("consistency violations: %v", v)
+	}
+	fmt.Println("final consistency audit: clean")
+}

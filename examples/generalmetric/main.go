@@ -1,0 +1,82 @@
+// General metrics: the Section 7 scheme ("PRR v.0") on a metric space that
+// is NOT growth-restricted — the shortest-path metric of a random graph.
+// Tapestry's O(1)-stretch guarantee needs the expansion property; this
+// static sampling directory trades dynamics and load balance for
+// polylogarithmic stretch on arbitrary metrics (Theorem 7).
+//
+// This example uses the research package directly (it is a static data
+// structure, not an overlay protocol).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"tapestry/internal/genmetric"
+	"tapestry/internal/metric"
+)
+
+func main() {
+	const n = 256
+	rng := rand.New(rand.NewSource(3))
+	space := metric.NewRandomGraph(n, 3, 10, rng)
+	fmt.Printf("metric: %s (not growth-restricted)\n", space.Name())
+	exp := metric.EstimateExpansion(space, 24, 6)
+	fmt.Printf("measured expansion: median %.1f p90 %.1f max %.1f (b=16 needs c^2 < 16)\n",
+		exp.Median, exp.P90, exp.Max)
+
+	dir := genmetric.Build(space, genmetric.DefaultConfig())
+	fmt.Printf("directory: %d levels x %d samples\n", dir.Levels(), dir.Width())
+
+	// Publish 16 objects on random nodes; query from everywhere.
+	type obj struct {
+		name   string
+		server int
+	}
+	objs := make([]obj, 16)
+	for i := range objs {
+		objs[i] = obj{fmt.Sprintf("dataset-%02d", i), rng.Intn(n)}
+		dir.Publish(objs[i].name, objs[i].server)
+	}
+
+	var worst, sum float64
+	count := 0
+	levelHist := map[int]int{}
+	for _, o := range objs {
+		for q := 0; q < 32; q++ {
+			x := rng.Intn(n)
+			if x == o.server {
+				continue
+			}
+			res := dir.Lookup(o.name, x)
+			if !res.Found {
+				log.Fatalf("lookup failed for %s from %d", o.name, x)
+			}
+			stretch := res.Dist / space.Distance(x, o.server)
+			sum += stretch
+			count++
+			if stretch > worst {
+				worst = stretch
+			}
+			levelHist[res.Level]++
+		}
+	}
+	logn := math.Log2(n)
+	fmt.Printf("stretch over %d lookups: mean %.1f, worst %.1f (log^3 n = %.0f)\n",
+		count, sum/float64(count), worst, logn*logn*logn)
+	fmt.Println("answer level histogram (high level = nearby discovery):")
+	for l := dir.Levels(); l >= 0; l-- {
+		if c := levelHist[l]; c > 0 {
+			fmt.Printf("  level %2d: %4d lookups\n", l, c)
+		}
+	}
+
+	var space2 float64
+	for _, s := range dir.SpacePerNode() {
+		space2 += float64(s)
+	}
+	fmt.Printf("average directory space per node: %.0f entries (log^2 n = %.0f)\n",
+		space2/n, logn*logn)
+}

@@ -1,0 +1,407 @@
+// Package can implements a Content-Addressable Network baseline [26]: nodes
+// own zones of an r-dimensional unit torus; greedy coordinate routing takes
+// O(r·n^{1/r}) hops (the Table 1 row); objects live at the zone owner of
+// their hashed point. Like Chord, CAN ignores network proximity, so its
+// stretch is unbounded by the object distance.
+package can
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"tapestry/internal/netsim"
+)
+
+// Point is a location in the d-dimensional unit torus.
+type Point []float64
+
+// Zone is an axis-aligned box, half-open on each axis.
+type Zone struct {
+	Lo, Hi Point
+}
+
+// contains reports whether p falls inside the zone.
+func (z Zone) contains(p Point) bool {
+	for i := range p {
+		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// center returns the zone's midpoint.
+func (z Zone) center() Point {
+	c := make(Point, len(z.Lo))
+	for i := range c {
+		c[i] = (z.Lo[i] + z.Hi[i]) / 2
+	}
+	return c
+}
+
+// neighborsOn reports whether a and b abut: they touch on exactly one axis
+// (possibly across the torus wrap) and overlap on all others.
+func neighborsOn(a, b Zone) bool {
+	touch := 0
+	for i := range a.Lo {
+		overlap := a.Lo[i] < b.Hi[i] && b.Lo[i] < a.Hi[i]
+		abut := a.Hi[i] == b.Lo[i] || b.Hi[i] == a.Lo[i] ||
+			(a.Hi[i] == 1 && b.Lo[i] == 0) || (b.Hi[i] == 1 && a.Lo[i] == 0)
+		switch {
+		case overlap:
+		case abut:
+			touch++
+		default:
+			return false
+		}
+	}
+	return touch == 1
+}
+
+// torusDelta is the wrapped 1-D distance.
+func torusDelta(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// torusDist is the wrapped Euclidean distance between points.
+func torusDist(a, b Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := torusDelta(a[i], b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// zoneDist is the wrapped Euclidean distance from point p to the nearest
+// point of zone z (0 when p is inside). Greedy forwarding on this measure —
+// rather than zone centers — avoids the local minima that uneven zone sizes
+// create.
+func (z Zone) dist(p Point) float64 {
+	s := 0.0
+	for i := range p {
+		if p[i] >= z.Lo[i] && p[i] < z.Hi[i] {
+			continue
+		}
+		d := math.Min(torusDelta(p[i], z.Lo[i]), torusDelta(p[i], z.Hi[i]))
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Node owns one zone.
+type Node struct {
+	mesh *Mesh
+	addr netsim.Addr
+
+	mu        sync.Mutex
+	zone      Zone
+	neighbors map[netsim.Addr]Zone
+	store     map[string][]netsim.Addr
+}
+
+// Mesh is one CAN instance.
+type Mesh struct {
+	dims int
+	net  *netsim.Network
+
+	mu        sync.RWMutex
+	byAddr    map[netsim.Addr]*Node
+	nodes     []*Node
+	nextSplit int
+}
+
+// NewMesh creates an empty CAN over the given network with the given
+// dimensionality r >= 1.
+func NewMesh(net *netsim.Network, dims int) (*Mesh, error) {
+	if dims < 1 || dims > 10 {
+		return nil, errors.New("can: dims must be in [1,10]")
+	}
+	return &Mesh{dims: dims, net: net, byAddr: map[netsim.Addr]*Node{}}, nil
+}
+
+// Bootstrap creates the first node owning the whole torus.
+func (m *Mesh) Bootstrap(addr netsim.Addr) (*Node, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.nodes) != 0 {
+		return nil, errors.New("can: already bootstrapped")
+	}
+	z := Zone{Lo: make(Point, m.dims), Hi: make(Point, m.dims)}
+	for i := range z.Hi {
+		z.Hi[i] = 1
+	}
+	n := &Node{mesh: m, addr: addr, zone: z,
+		neighbors: map[netsim.Addr]Zone{}, store: map[string][]netsim.Addr{}}
+	m.byAddr[addr] = n
+	m.nodes = append(m.nodes, n)
+	m.net.Attach(addr)
+	return n, nil
+}
+
+// Join inserts a node: pick a random point, route to its zone owner, split
+// that zone in half, and take over one half (with the stored keys falling in
+// it). Returns the join's message cost.
+func (m *Mesh) Join(gateway *Node, addr netsim.Addr, rng *rand.Rand) (*Node, *netsim.Cost, error) {
+	cost := &netsim.Cost{}
+	m.mu.Lock()
+	if _, dup := m.byAddr[addr]; dup {
+		m.mu.Unlock()
+		return nil, cost, fmt.Errorf("can: address %d taken", addr)
+	}
+	m.mu.Unlock()
+
+	p := make(Point, m.dims)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	owner, _, err := gateway.RouteTo(p, cost)
+	if err != nil {
+		return nil, cost, err
+	}
+
+	owner.mu.Lock()
+	// Split along the widest axis for aspect-ratio health.
+	axis := 0
+	width := 0.0
+	for i := 0; i < m.dims; i++ {
+		if w := owner.zone.Hi[i] - owner.zone.Lo[i]; w > width {
+			width, axis = w, i
+		}
+	}
+	mid := (owner.zone.Lo[axis] + owner.zone.Hi[axis]) / 2
+	newZone := Zone{Lo: append(Point(nil), owner.zone.Lo...), Hi: append(Point(nil), owner.zone.Hi...)}
+	newZone.Lo[axis] = mid
+	owner.zone.Hi[axis] = mid
+
+	n := &Node{mesh: m, addr: addr, zone: newZone,
+		neighbors: map[netsim.Addr]Zone{}, store: map[string][]netsim.Addr{}}
+	// Key handover: stored points now in the new half.
+	for k, v := range owner.store {
+		if newZone.contains(pointOf(k, m.dims)) {
+			n.store[k] = v
+			delete(owner.store, k)
+		}
+	}
+	oldNeighbors := make(map[netsim.Addr]Zone, len(owner.neighbors))
+	for a, z := range owner.neighbors {
+		oldNeighbors[a] = z
+	}
+	ownerZone := owner.zone
+	owner.mu.Unlock()
+
+	m.mu.Lock()
+	m.byAddr[addr] = n
+	m.nodes = append(m.nodes, n)
+	m.mu.Unlock()
+	m.net.Attach(addr)
+
+	// Rewire neighbor sets among owner, new node and the old neighborhood.
+	m.link(owner.addr, ownerZone, n.addr, newZone, cost)
+	for a := range oldNeighbors {
+		peer := m.nodeAt(a)
+		if peer == nil {
+			continue
+		}
+		peer.mu.Lock()
+		pz := peer.zone
+		delete(peer.neighbors, owner.addr)
+		peer.mu.Unlock()
+		if neighborsOn(pz, ownerZone) {
+			m.link(owner.addr, ownerZone, a, pz, cost)
+		} else {
+			owner.mu.Lock()
+			delete(owner.neighbors, a)
+			owner.mu.Unlock()
+		}
+		if neighborsOn(pz, newZone) {
+			m.link(n.addr, newZone, a, pz, cost)
+		}
+	}
+	return n, cost, nil
+}
+
+// link records a symmetric neighbor relation and charges the handshake.
+func (m *Mesh) link(a netsim.Addr, az Zone, b netsim.Addr, bz Zone, cost *netsim.Cost) {
+	na, nb := m.nodeAt(a), m.nodeAt(b)
+	if na == nil || nb == nil {
+		return
+	}
+	_ = m.net.Send(a, b, cost, false)
+	na.mu.Lock()
+	na.neighbors[b] = bz
+	na.mu.Unlock()
+	nb.mu.Lock()
+	nb.neighbors[a] = az
+	nb.mu.Unlock()
+}
+
+func (m *Mesh) nodeAt(a netsim.Addr) *Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.byAddr[a]
+}
+
+// Nodes returns all participants.
+func (m *Mesh) Nodes() []*Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]*Node(nil), m.nodes...)
+}
+
+// RouteTo greedily forwards toward the zone containing p: each hop moves to
+// the neighbor whose zone center is nearest p.
+func (n *Node) RouteTo(p Point, cost *netsim.Cost) (*Node, int, error) {
+	cur := n
+	hops := 0
+	maxHops := 64 * len(p) * intSqrt(len(cur.mesh.Nodes())*4)
+	for hops <= maxHops {
+		cur.mu.Lock()
+		if cur.zone.contains(p) {
+			cur.mu.Unlock()
+			return cur, hops, nil
+		}
+		bestAddr := netsim.Addr(-1)
+		bestD := math.Inf(1)
+		for a, z := range cur.neighbors {
+			d := z.dist(p)
+			// Tie-break toward the zone whose center is nearest the target,
+			// then by address for determinism.
+			if d < bestD-1e-15 || (math.Abs(d-bestD) <= 1e-15 && bestAddr >= 0 &&
+				torusDist(z.center(), p) < torusDist(cur.neighbors[bestAddr].center(), p)) {
+				bestD, bestAddr = d, a
+			}
+		}
+		cur.mu.Unlock()
+		if bestAddr < 0 {
+			return nil, hops, errors.New("can: greedy routing stuck")
+		}
+		next := cur.mesh.nodeAt(bestAddr)
+		if next == nil {
+			return nil, hops, errors.New("can: neighbor vanished")
+		}
+		if err := cur.mesh.net.RPC(cur.addr, next.addr, cost); err != nil {
+			return nil, hops, err
+		}
+		cur = next
+		hops++
+	}
+	return nil, hops, errors.New("can: routing did not converge")
+}
+
+func intSqrt(n int) int {
+	r := int(math.Sqrt(float64(n)))
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// pointOf hashes a key name to a torus point.
+func pointOf(key string, dims int) Point {
+	sum := sha256.Sum256([]byte(key))
+	p := make(Point, dims)
+	for i := range p {
+		v := binary.BigEndian.Uint32(sum[(4*i)%28 : (4*i)%28+4])
+		p[i] = float64(v^uint32(i*0x9E3779B9)) / float64(1<<32)
+	}
+	return p
+}
+
+// Publish stores a replica reference at the key's zone owner.
+func (n *Node) Publish(key string, cost *netsim.Cost) error {
+	owner, _, err := n.RouteTo(pointOf(key, n.mesh.dims), cost)
+	if err != nil {
+		return err
+	}
+	owner.mu.Lock()
+	owner.store[key] = append(owner.store[key], n.addr)
+	owner.mu.Unlock()
+	return nil
+}
+
+// LocateResult mirrors the other baselines.
+type LocateResult struct {
+	Found  bool
+	Server netsim.Addr
+	Hops   int
+}
+
+// Locate routes to the key's zone owner, then hops to the closest replica.
+func (n *Node) Locate(key string, cost *netsim.Cost) LocateResult {
+	owner, hops, err := n.RouteTo(pointOf(key, n.mesh.dims), cost)
+	if err != nil {
+		return LocateResult{}
+	}
+	owner.mu.Lock()
+	reps := append([]netsim.Addr(nil), owner.store[key]...)
+	owner.mu.Unlock()
+	if len(reps) == 0 {
+		return LocateResult{}
+	}
+	best := reps[0]
+	for _, rp := range reps[1:] {
+		if n.mesh.net.Distance(owner.addr, rp) < n.mesh.net.Distance(owner.addr, best) {
+			best = rp
+		}
+	}
+	if err := n.mesh.net.Send(owner.addr, best, cost, true); err != nil {
+		return LocateResult{}
+	}
+	return LocateResult{Found: true, Server: best, Hops: hops + 1}
+}
+
+// NeighborCount returns the routing-state size (Table 1 space: O(r)).
+func (n *Node) NeighborCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.neighbors)
+}
+
+// Addr returns the node's network address.
+func (n *Node) Addr() netsim.Addr { return n.addr }
+
+// Zone returns a copy of the node's current zone.
+func (n *Node) Zone() Zone {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Zone{Lo: append(Point(nil), n.zone.Lo...), Hi: append(Point(nil), n.zone.Hi...)}
+}
+
+// Grow bootstraps (if needed) then joins nodes at the addresses, returning
+// per-join message counts.
+func (m *Mesh) Grow(addrs []netsim.Addr, rng *rand.Rand) ([]*Node, []int, error) {
+	var nodes []*Node
+	var costs []int
+	for _, a := range addrs {
+		m.mu.RLock()
+		empty := len(m.nodes) == 0
+		m.mu.RUnlock()
+		if empty {
+			n, err := m.Bootstrap(a)
+			if err != nil {
+				return nodes, costs, err
+			}
+			nodes = append(nodes, n)
+			costs = append(costs, 0)
+			continue
+		}
+		gw := nodes[rng.Intn(len(nodes))]
+		n, cost, err := m.Join(gw, a, rng)
+		if err != nil {
+			return nodes, costs, err
+		}
+		nodes = append(nodes, n)
+		costs = append(costs, cost.Messages())
+	}
+	return nodes, costs, nil
+}

@@ -1,0 +1,193 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+)
+
+func buildCAN(t testing.TB, n, dims int, seed int64) (*Mesh, []*Node) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(n * 4)
+	net := netsim.New(space)
+	m, err := NewMesh(net, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	nodes, _, err := m.Grow(addrs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, nodes
+}
+
+func TestZonesPartitionTorus(t *testing.T) {
+	m, nodes := buildCAN(t, 32, 2, 1)
+	// Zones tile the torus: total volume 1, and every random point has
+	// exactly one owner.
+	vol := 0.0
+	for _, n := range nodes {
+		z := n.Zone()
+		v := 1.0
+		for i := range z.Lo {
+			v *= z.Hi[i] - z.Lo[i]
+		}
+		vol += v
+	}
+	if vol < 0.999 || vol > 1.001 {
+		t.Fatalf("zone volumes sum to %g", vol)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		owners := 0
+		for _, n := range nodes {
+			if n.Zone().contains(p) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("point %v has %d owners", p, owners)
+		}
+	}
+	_ = m
+}
+
+func TestRoutingReachesOwner(t *testing.T) {
+	_, nodes := buildCAN(t, 48, 2, 3)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		start := nodes[rng.Intn(len(nodes))]
+		owner, hops, err := start.RouteTo(p, nil)
+		if err != nil {
+			t.Fatalf("routing failed: %v", err)
+		}
+		if !owner.Zone().contains(p) {
+			t.Fatal("terminal zone does not contain the target")
+		}
+		if hops > 40 {
+			t.Errorf("route took %d hops", hops)
+		}
+	}
+}
+
+func TestPublishLocate(t *testing.T) {
+	_, nodes := buildCAN(t, 32, 2, 5)
+	if err := nodes[7].Publish("can-object", nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nodes {
+		res := c.Locate("can-object", nil)
+		if !res.Found {
+			t.Fatalf("locate failed from %d", c.Addr())
+		}
+		if res.Server != nodes[7].Addr() {
+			t.Fatal("wrong server")
+		}
+	}
+	if res := nodes[0].Locate("ghost", nil); res.Found {
+		t.Error("found unpublished key")
+	}
+}
+
+func TestKeyHandoverOnSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	space := metric.NewRing(256)
+	net := netsim.New(space)
+	m, _ := NewMesh(net, 2)
+	first, err := m.Bootstrap(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		key := string(rune('a' + i))
+		if err := first.Publish(key, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes := []*Node{first}
+	for i := 1; i <= 15; i++ {
+		n, _, err := m.Join(nodes[rng.Intn(len(nodes))], netsim.Addr(i), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 0; i < 10; i++ {
+		key := string(rune('a' + i))
+		if res := nodes[12].Locate(key, nil); !res.Found {
+			t.Fatalf("key %q lost after splits", key)
+		}
+	}
+}
+
+func TestHopsScaleAsSqrtN(t *testing.T) {
+	// r=2: hops ~ (r/4)·n^{1/r} = sqrt(n)/2. For n=64 expect ~4, allow <12.
+	_, nodes := buildCAN(t, 64, 2, 7)
+	rng := rand.New(rand.NewSource(8))
+	total := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		_, hops, err := nodes[rng.Intn(len(nodes))].RouteTo(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	if mean := float64(total) / trials; mean > 12 {
+		t.Errorf("mean hops %.1f for n=64 r=2; expected ~4", mean)
+	}
+}
+
+func TestNeighborCountBounded(t *testing.T) {
+	_, nodes := buildCAN(t, 64, 2, 9)
+	for _, n := range nodes {
+		if c := n.NeighborCount(); c < 1 || c > 30 {
+			t.Fatalf("neighbor count %d implausible for r=2", c)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	net := netsim.New(metric.NewRing(8))
+	if _, err := NewMesh(net, 0); err == nil {
+		t.Error("dims 0 accepted")
+	}
+	m, _ := NewMesh(net, 2)
+	if _, err := m.Bootstrap(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Bootstrap(1); err == nil {
+		t.Error("double bootstrap accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := m.Join(m.Nodes()[0], 0, rng); err == nil {
+		t.Error("duplicate address accepted")
+	}
+}
+
+func TestNeighborsOn(t *testing.T) {
+	a := Zone{Lo: Point{0, 0}, Hi: Point{0.5, 0.5}}
+	b := Zone{Lo: Point{0.5, 0}, Hi: Point{1, 0.5}}
+	c := Zone{Lo: Point{0.5, 0.5}, Hi: Point{1, 1}}
+	if !neighborsOn(a, b) {
+		t.Error("a-b should abut")
+	}
+	if neighborsOn(a, c) {
+		t.Error("a-c touch only at a corner")
+	}
+	// Torus wrap: b's right edge (x=1) abuts a's left edge (x=0).
+	if !neighborsOn(b, a) {
+		t.Error("symmetry")
+	}
+}

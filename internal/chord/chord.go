@@ -1,0 +1,457 @@
+// Package chord implements the Chord distributed lookup service of Stoica
+// et al. [30], as a baseline for Table 1: O(log n) lookup hops, O(log n)
+// routing state per node, O(log² n) join messages — but no routing locality,
+// since identifiers are unrelated to network position ("most of the recent
+// work on peer-to-peer networks ignore stretch").
+//
+// Nodes sit on a 64-bit identifier circle. Each node keeps a predecessor, a
+// successor list, and a finger table whose i-th entry is the successor of
+// n + 2^i. Objects are stored (as location references) at the successor of
+// their key; queries route to that node, then hop to the replica it names.
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"tapestry/internal/netsim"
+)
+
+// M is the identifier-circle bit width.
+const M = 64
+
+// Ref names a node: its ring ID and network address.
+type Ref struct {
+	ID   uint64
+	Addr netsim.Addr
+}
+
+// Node is one Chord participant.
+type Node struct {
+	ring *Ring
+	self Ref
+
+	mu      sync.Mutex
+	pred    Ref
+	succ    []Ref // successor list, closest first; len >= 1 once joined
+	finger  [M]Ref
+	store   map[uint64][]Replica // key -> replicas, held by the key's successor
+	serves  map[uint64][]netsim.Addr
+	alive   bool
+	succLen int
+}
+
+// Replica names one copy of an object.
+type Replica struct {
+	Key    uint64
+	Server netsim.Addr
+}
+
+// Ring is a Chord overlay instance.
+type Ring struct {
+	net *netsim.Network
+
+	mu     sync.RWMutex
+	byAddr map[netsim.Addr]*Node
+	seed   int64
+}
+
+// NewRing creates an empty Chord overlay.
+func NewRing(net *netsim.Network, seed int64) *Ring {
+	return &Ring{net: net, byAddr: make(map[netsim.Addr]*Node), seed: seed}
+}
+
+// between reports whether x lies in the half-open ring interval (a, b].
+func between(x, a, b uint64) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b // interval wraps
+}
+
+// betweenOpen reports whether x lies in the open interval (a, b).
+func betweenOpen(x, a, b uint64) bool {
+	if a < b {
+		return x > a && x < b
+	}
+	return x > a || x < b
+}
+
+// Bootstrap creates the first node.
+func (r *Ring) Bootstrap(id uint64, addr netsim.Addr) (*Node, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.byAddr) != 0 {
+		return nil, errors.New("chord: ring already bootstrapped")
+	}
+	n := &Node{
+		ring: r, self: Ref{id, addr},
+		store:  make(map[uint64][]Replica),
+		serves: make(map[uint64][]netsim.Addr),
+		alive:  true, succLen: 4,
+	}
+	n.pred = n.self
+	n.succ = []Ref{n.self}
+	for i := range n.finger {
+		n.finger[i] = n.self
+	}
+	r.byAddr[addr] = n
+	r.net.Attach(addr)
+	return n, nil
+}
+
+func (r *Ring) nodeAt(a netsim.Addr) *Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byAddr[a]
+}
+
+// rpc charges a message pair and resolves the target node.
+func (r *Ring) rpc(from netsim.Addr, to Ref, cost *netsim.Cost, hop bool) (*Node, error) {
+	if err := r.net.Send(from, to.Addr, cost, hop); err != nil {
+		return nil, err
+	}
+	n := r.nodeAt(to.Addr)
+	if n == nil {
+		return nil, fmt.Errorf("chord: no node at %d", to.Addr)
+	}
+	n.mu.Lock()
+	ok := n.alive && n.self.ID == to.ID
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("chord: node at %d gone", to.Addr)
+	}
+	_ = r.net.Send(to.Addr, from, cost, false)
+	return n, nil
+}
+
+// closestPrecedingFinger returns the highest finger strictly between self
+// and key.
+func (n *Node) closestPrecedingFinger(key uint64) Ref {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := M - 1; i >= 0; i-- {
+		f := n.finger[i]
+		if f.Addr != n.self.Addr && betweenOpen(f.ID, n.self.ID, key) {
+			return f
+		}
+	}
+	for i := len(n.succ) - 1; i >= 0; i-- {
+		if s := n.succ[i]; s.Addr != n.self.Addr && betweenOpen(s.ID, n.self.ID, key) {
+			return s
+		}
+	}
+	return n.self
+}
+
+// FindSuccessor routes from n to the node owning key, charging cost per
+// hop. Returns the owner and the hop count.
+func (n *Node) FindSuccessor(key uint64, cost *netsim.Cost) (*Node, int, error) {
+	cur := n
+	hops := 0
+	for hops <= 4*M {
+		cur.mu.Lock()
+		succ := cur.succ[0]
+		selfID := cur.self.ID
+		cur.mu.Unlock()
+		if between(key, selfID, succ.ID) {
+			if succ.Addr == cur.self.Addr {
+				return cur, hops, nil
+			}
+			owner, err := cur.ring.rpc(cur.self.Addr, succ, cost, true)
+			if err != nil {
+				cur.dropRef(succ) // stale successor; retry with the next one
+				continue
+			}
+			return owner, hops + 1, nil
+		}
+		next := cur.closestPrecedingFinger(key)
+		if next.Addr == cur.self.Addr {
+			// Fingers exhausted: fall through to the successor.
+			owner, err := cur.ring.rpc(cur.self.Addr, succ, cost, true)
+			if err != nil {
+				cur.dropRef(succ)
+				continue
+			}
+			cur = owner
+			hops++
+			continue
+		}
+		peer, err := cur.ring.rpc(cur.self.Addr, next, cost, true)
+		if err != nil {
+			cur.dropRef(next) // stale finger; re-decide
+			continue
+		}
+		cur = peer
+		hops++
+	}
+	return nil, 0, errors.New("chord: lookup did not converge")
+}
+
+// dropRef removes a reference observed dead from the successor list and
+// fingers (lazy repair on lookup failure).
+func (n *Node) dropRef(ref Ref) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.succ[:0]
+	for _, s := range n.succ {
+		if s.Addr != ref.Addr {
+			kept = append(kept, s)
+		}
+	}
+	n.succ = kept
+	if len(n.succ) == 0 {
+		n.succ = []Ref{n.self}
+	}
+	for i := range n.finger {
+		if n.finger[i].Addr == ref.Addr {
+			n.finger[i] = n.succ[0]
+		}
+	}
+}
+
+// Join inserts a new node via the gateway: find its successor, splice the
+// ring, build the finger table with O(log n) lookups (O(log² n) messages,
+// the Table 1 insert cost), and take over the keys it now owns.
+func (r *Ring) Join(gateway *Node, id uint64, addr netsim.Addr) (*Node, *netsim.Cost, error) {
+	cost := &netsim.Cost{}
+	r.mu.Lock()
+	if _, dup := r.byAddr[addr]; dup {
+		r.mu.Unlock()
+		return nil, cost, fmt.Errorf("chord: address %d taken", addr)
+	}
+	r.mu.Unlock()
+
+	succ, _, err := gateway.FindSuccessor(id, cost)
+	if err != nil {
+		return nil, cost, err
+	}
+	if succ.self.ID == id {
+		return nil, cost, fmt.Errorf("chord: id %d already present", id)
+	}
+
+	n := &Node{
+		ring: r, self: Ref{id, addr},
+		store:  make(map[uint64][]Replica),
+		serves: make(map[uint64][]netsim.Addr),
+		alive:  true, succLen: 4,
+	}
+	r.mu.Lock()
+	r.byAddr[addr] = n
+	r.mu.Unlock()
+	r.net.Attach(addr)
+
+	// Splice: pred(succ) <- n -> succ.
+	succ.mu.Lock()
+	oldPred := succ.pred
+	succ.pred = n.self
+	n.succ = append([]Ref{succ.self}, succ.succ...)
+	if len(n.succ) > n.succLen {
+		n.succ = n.succ[:n.succLen]
+	}
+	// Key handover: everything in (oldPred, n] moves to n.
+	for k, reps := range succ.store {
+		if between(k, oldPred.ID, n.self.ID) {
+			n.store[k] = reps
+			delete(succ.store, k)
+		}
+	}
+	succ.mu.Unlock()
+	n.mu.Lock()
+	n.pred = oldPred
+	n.mu.Unlock()
+	if oldPred.Addr != succ.self.Addr || oldPred.ID != succ.self.ID {
+		if p, err := r.rpc(n.self.Addr, oldPred, cost, false); err == nil {
+			p.mu.Lock()
+			p.succ = append([]Ref{n.self}, p.succ...)
+			if len(p.succ) > p.succLen {
+				p.succ = p.succ[:p.succLen]
+			}
+			p.mu.Unlock()
+		}
+	} else {
+		succ.mu.Lock()
+		succ.succ = append([]Ref{n.self}, succ.succ...)
+		if len(succ.succ) > succ.succLen {
+			succ.succ = succ.succ[:succ.succLen]
+		}
+		succ.mu.Unlock()
+	}
+
+	// Finger table: one lookup per distinct finger start.
+	n.buildFingers(gateway, cost)
+	return n, cost, nil
+}
+
+// buildFingers fills the finger table via lookups; consecutive fingers that
+// share an owner are coalesced (the standard optimization, keeping join at
+// O(log² n) messages rather than O(M log n)).
+func (n *Node) buildFingers(via *Node, cost *netsim.Cost) {
+	var last Ref
+	for i := 0; i < M; i++ {
+		start := n.self.ID + (uint64(1) << uint(i))
+		if last.Addr != 0 || last.ID != 0 {
+			if between(start, n.self.ID, last.ID) {
+				n.mu.Lock()
+				n.finger[i] = last
+				n.mu.Unlock()
+				continue
+			}
+		}
+		owner, _, err := via.FindSuccessor(start, cost)
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		n.finger[i] = owner.self
+		n.mu.Unlock()
+		last = owner.self
+	}
+}
+
+// Stabilize refreshes the successor/predecessor links and fingers of every
+// node to the fixed point Chord's iterative stabilization converges to (run
+// periodically in deployments; invoked explicitly in experiments after
+// churn).
+func (r *Ring) Stabilize(cost *netsim.Cost) {
+	r.mu.RLock()
+	nodes := make([]*Node, 0, len(r.byAddr))
+	for _, n := range r.byAddr {
+		nodes = append(nodes, n)
+	}
+	r.mu.RUnlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].self.ID < nodes[j].self.ID })
+	nn := len(nodes)
+	for i, n := range nodes {
+		n.mu.Lock()
+		n.succ = n.succ[:0]
+		for o := 1; o <= n.succLen && o < nn; o++ {
+			n.succ = append(n.succ, nodes[(i+o)%nn].self)
+		}
+		if len(n.succ) == 0 {
+			n.succ = []Ref{n.self}
+		}
+		n.pred = nodes[(i-1+nn)%nn].self
+		n.mu.Unlock()
+	}
+	for _, n := range nodes {
+		n.buildFingers(n, cost)
+	}
+}
+
+// Publish stores a replica reference at the successor of the key.
+func (n *Node) Publish(key uint64, cost *netsim.Cost) error {
+	owner, _, err := n.FindSuccessor(key, cost)
+	if err != nil {
+		return err
+	}
+	owner.mu.Lock()
+	owner.store[key] = append(owner.store[key], Replica{Key: key, Server: n.self.Addr})
+	owner.mu.Unlock()
+	n.mu.Lock()
+	n.serves[key] = append(n.serves[key], n.self.Addr)
+	n.mu.Unlock()
+	return nil
+}
+
+// LocateResult mirrors the Tapestry result for comparable experiments.
+type LocateResult struct {
+	Found  bool
+	Server netsim.Addr
+	Hops   int
+}
+
+// Locate routes to the key's owner and then to the replica closest to the
+// owner (Chord has no locality: the owner is a uniformly random node, so
+// both legs are typically long).
+func (n *Node) Locate(key uint64, cost *netsim.Cost) LocateResult {
+	owner, hops, err := n.FindSuccessor(key, cost)
+	if err != nil {
+		return LocateResult{}
+	}
+	owner.mu.Lock()
+	reps := append([]Replica(nil), owner.store[key]...)
+	owner.mu.Unlock()
+	if len(reps) == 0 {
+		return LocateResult{}
+	}
+	best := reps[0]
+	bestD := n.ring.net.Distance(owner.self.Addr, best.Server)
+	for _, rep := range reps[1:] {
+		if d := n.ring.net.Distance(owner.self.Addr, rep.Server); d < bestD {
+			best, bestD = rep, d
+		}
+	}
+	if err := n.ring.net.Send(owner.self.Addr, best.Server, cost, true); err != nil {
+		return LocateResult{}
+	}
+	return LocateResult{Found: true, Server: best.Server, Hops: hops + 1}
+}
+
+// FingerCount returns the number of distinct routing entries (the Table 1
+// space measurement).
+func (n *Node) FingerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := map[netsim.Addr]bool{}
+	for _, f := range n.finger {
+		if f.Addr != n.self.Addr {
+			seen[f.Addr] = true
+		}
+	}
+	for _, s := range n.succ {
+		if s.Addr != n.self.Addr {
+			seen[s.Addr] = true
+		}
+	}
+	return len(seen)
+}
+
+// Self returns the node's ring reference.
+func (n *Node) Self() Ref { return n.self }
+
+// HashKey maps an arbitrary name onto the ring deterministically.
+func HashKey(name string, seed int64) uint64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// RandomID draws a ring identifier.
+func RandomID(rng *rand.Rand) uint64 { return rng.Uint64() }
+
+// Grow bootstraps (if needed) and joins nodes at the given addresses with
+// random IDs, returning the nodes and per-join message counts.
+func (r *Ring) Grow(addrs []netsim.Addr, rng *rand.Rand) ([]*Node, []int, error) {
+	var nodes []*Node
+	var costs []int
+	for _, a := range addrs {
+		id := RandomID(rng)
+		r.mu.RLock()
+		empty := len(r.byAddr) == 0
+		r.mu.RUnlock()
+		if empty {
+			n, err := r.Bootstrap(id, a)
+			if err != nil {
+				return nodes, costs, err
+			}
+			nodes = append(nodes, n)
+			costs = append(costs, 0)
+			continue
+		}
+		gw := nodes[rng.Intn(len(nodes))]
+		n, cost, err := r.Join(gw, id, a)
+		if err != nil {
+			return nodes, costs, err
+		}
+		nodes = append(nodes, n)
+		costs = append(costs, cost.Messages())
+	}
+	return nodes, costs, nil
+}

@@ -1,0 +1,245 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+)
+
+func buildRing(t testing.TB, n int, seed int64) (*Ring, []*Node) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(n * 4)
+	net := netsim.New(space)
+	r := NewRing(net, seed)
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	nodes, _, err := r.Grow(addrs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Stabilize(nil)
+	return r, nodes
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		x, a, b uint64
+		want    bool
+	}{
+		{5, 3, 7, true},
+		{3, 3, 7, false},
+		{7, 3, 7, true},
+		{9, 3, 7, false},
+		{1, 7, 3, true},  // wrap
+		{8, 7, 3, true},  // wrap
+		{5, 7, 3, false}, // wrap
+	}
+	for _, c := range cases {
+		if got := between(c.x, c.a, c.b); got != c.want {
+			t.Errorf("between(%d,%d,%d) = %v", c.x, c.a, c.b, got)
+		}
+	}
+	if betweenOpen(7, 3, 7) {
+		t.Error("betweenOpen right endpoint")
+	}
+}
+
+func TestRingFormation(t *testing.T) {
+	_, nodes := buildRing(t, 32, 1)
+	// Successor graph forms one cycle covering all nodes.
+	start := nodes[0]
+	cur := start
+	seen := map[netsim.Addr]bool{}
+	for i := 0; i <= len(nodes); i++ {
+		if seen[cur.self.Addr] {
+			break
+		}
+		seen[cur.self.Addr] = true
+		cur.mu.Lock()
+		next := cur.succ[0]
+		cur.mu.Unlock()
+		cur = cur.ring.nodeAt(next.Addr)
+		if cur == nil {
+			t.Fatal("successor points nowhere")
+		}
+	}
+	if len(seen) != len(nodes) {
+		t.Fatalf("successor cycle covers %d of %d nodes", len(seen), len(nodes))
+	}
+}
+
+func TestFindSuccessorAgreesWithGlobalOrder(t *testing.T) {
+	_, nodes := buildRing(t, 48, 2)
+	ids := make([]uint64, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.self.ID
+	}
+	owner := func(key uint64) uint64 {
+		best := uint64(0)
+		bestDelta := ^uint64(0)
+		for _, id := range ids {
+			delta := id - key // wraparound distance forward
+			if delta < bestDelta {
+				bestDelta = delta
+				best = id
+			}
+		}
+		return best
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		key := rng.Uint64()
+		want := owner(key)
+		start := nodes[rng.Intn(len(nodes))]
+		got, hops, err := start.FindSuccessor(key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.self.ID != want {
+			t.Fatalf("owner of %d: got %d, want %d", key, got.self.ID, want)
+		}
+		if hops > 30 {
+			t.Errorf("lookup took %d hops", hops)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	_, nodes := buildRing(t, 64, 4)
+	rng := rand.New(rand.NewSource(5))
+	total := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		key := rng.Uint64()
+		start := nodes[rng.Intn(len(nodes))]
+		_, hops, err := start.FindSuccessor(key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	mean := float64(total) / trials
+	// log2(64) = 6; Chord's expected half that. Allow generous slack.
+	if mean > 9 {
+		t.Errorf("mean hops %.2f for n=64, expected ~3-6", mean)
+	}
+}
+
+func TestPublishAndLocate(t *testing.T) {
+	_, nodes := buildRing(t, 32, 6)
+	key := HashKey("obj", 1)
+	if err := nodes[3].Publish(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nodes {
+		res := c.Locate(key, nil)
+		if !res.Found {
+			t.Fatalf("locate failed from %d", c.self.Addr)
+		}
+		if res.Server != nodes[3].self.Addr {
+			t.Fatalf("wrong server %d", res.Server)
+		}
+	}
+	if res := nodes[0].Locate(HashKey("ghost", 1), nil); res.Found {
+		t.Error("found unpublished key")
+	}
+}
+
+func TestKeyHandoverOnJoin(t *testing.T) {
+	r, nodes := buildRing(t, 16, 7)
+	rng := rand.New(rand.NewSource(8))
+	keys := make([]uint64, 20)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if err := nodes[i%len(nodes)].Publish(keys[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Join several more nodes; previously published keys must remain
+	// locatable (handover moved them to their new owners).
+	joined := 0
+	for a := 0; a < r.net.Size() && joined < 8; a++ {
+		if r.nodeAt(netsim.Addr(a)) != nil {
+			continue
+		}
+		if _, _, err := r.Join(nodes[0], RandomID(rng), netsim.Addr(a)); err != nil {
+			t.Fatal(err)
+		}
+		joined++
+	}
+	r.Stabilize(nil)
+	for _, k := range keys {
+		if res := nodes[1].Locate(k, nil); !res.Found {
+			t.Fatalf("key %d lost after joins", k)
+		}
+	}
+}
+
+func TestJoinCostLogSquared(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	space := metric.NewRing(1024)
+	net := netsim.New(space)
+	r := NewRing(net, 9)
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, 128)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	_, costs, err := r.Grow(addrs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of the last 64 joins: should be well below n (it is O(log² n)).
+	mean := 0.0
+	for _, c := range costs[64:] {
+		mean += float64(c)
+	}
+	mean /= 64
+	if mean > 400 {
+		t.Errorf("mean join cost %.0f messages for n=128; expected O(log² n) ≈ 50-200", mean)
+	}
+	if mean < 5 {
+		t.Errorf("join cost %.0f suspiciously low; accounting broken?", mean)
+	}
+}
+
+func TestFingerCountLogarithmic(t *testing.T) {
+	_, nodes := buildRing(t, 64, 10)
+	for _, n := range nodes {
+		c := n.FingerCount()
+		if c < 2 || c > 40 {
+			t.Fatalf("node has %d distinct fingers; expected Θ(log n)", c)
+		}
+	}
+}
+
+func TestDuplicateJoinRejected(t *testing.T) {
+	r, nodes := buildRing(t, 8, 11)
+	if _, _, err := r.Join(nodes[0], nodes[1].self.ID, 999); err == nil {
+		t.Error("duplicate ID join should fail")
+	}
+	if _, _, err := r.Join(nodes[0], 42, nodes[1].self.Addr); err == nil {
+		t.Error("duplicate address join should fail")
+	}
+	if _, err := r.Bootstrap(1, 998); err == nil {
+		t.Error("second bootstrap should fail")
+	}
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashKey("a", 1) != HashKey("a", 1) {
+		t.Error("not deterministic")
+	}
+	if HashKey("a", 1) == HashKey("b", 1) {
+		t.Error("collision (wildly unlikely)")
+	}
+	if HashKey("a", 1) == HashKey("a", 2) {
+		t.Error("seed ignored")
+	}
+}

@@ -1,0 +1,115 @@
+package chord
+
+import (
+	"errors"
+
+	"tapestry/internal/netsim"
+)
+
+// Leave removes the node gracefully: stored keys move to the successor, the
+// predecessor and successor are spliced together, and the node detaches.
+func (n *Node) Leave(cost *netsim.Cost) error {
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return errors.New("chord: node already gone")
+	}
+	if len(n.succ) == 0 || n.succ[0].Addr == n.self.Addr {
+		n.mu.Unlock()
+		return errors.New("chord: last node cannot leave")
+	}
+	succRef := n.succ[0]
+	predRef := n.pred
+	keys := n.store
+	n.store = map[uint64][]Replica{}
+	n.mu.Unlock()
+
+	// Hand keys to the successor.
+	if succ, err := n.ring.rpc(n.self.Addr, succRef, cost, false); err == nil {
+		succ.mu.Lock()
+		for k, reps := range keys {
+			succ.store[k] = append(succ.store[k], reps...)
+		}
+		succ.pred = predRef
+		succ.mu.Unlock()
+	}
+	// Splice the predecessor around us.
+	if predRef.Addr != n.self.Addr {
+		if pred, err := n.ring.rpc(n.self.Addr, predRef, cost, false); err == nil {
+			pred.mu.Lock()
+			fixed := make([]Ref, 0, len(pred.succ)+1)
+			fixed = append(fixed, succRef)
+			for _, s := range pred.succ {
+				if s.Addr != n.self.Addr {
+					fixed = append(fixed, s)
+				}
+			}
+			pred.succ = fixed
+			if len(pred.succ) > pred.succLen {
+				pred.succ = pred.succ[:pred.succLen]
+			}
+			pred.mu.Unlock()
+		}
+	}
+
+	n.mu.Lock()
+	n.alive = false
+	n.mu.Unlock()
+	n.ring.net.Detach(n.self.Addr)
+	n.ring.mu.Lock()
+	delete(n.ring.byAddr, n.self.Addr)
+	n.ring.mu.Unlock()
+	return nil
+}
+
+// Fail kills the node without notice. Lookups routed through it fail until
+// Repair (or Stabilize) runs — Chord's successor lists exist exactly for
+// this, and the keys it stored are lost until their owners re-publish
+// (Chord has no soft-state republish of its own; the experiment harness
+// re-publishes explicitly).
+func (r *Ring) Fail(n *Node) {
+	n.mu.Lock()
+	n.alive = false
+	n.mu.Unlock()
+	r.net.Detach(n.self.Addr)
+	r.mu.Lock()
+	delete(r.byAddr, n.self.Addr)
+	r.mu.Unlock()
+}
+
+// Repair re-forms the ring among survivors after failures: successor lists
+// and predecessors are rebuilt from the surviving membership (the converged
+// fixed point that Chord's iterative stabilization would reach), then
+// fingers are refreshed. Keys stored on the corpses are gone until their
+// publishers re-publish.
+func (r *Ring) Repair(cost *netsim.Cost) {
+	r.mu.RLock()
+	nodes := make([]*Node, 0, len(r.byAddr))
+	for _, n := range r.byAddr {
+		nodes = append(nodes, n)
+	}
+	r.mu.RUnlock()
+	// Reset fingers to something live before Stabilize re-derives them via
+	// lookups (dropRef handles any residual staleness lazily).
+	for _, n := range nodes {
+		n.mu.Lock()
+		kept := n.succ[:0]
+		for _, s := range n.succ {
+			if r.net.Alive(s.Addr) {
+				kept = append(kept, s)
+			}
+		}
+		n.succ = kept
+		if len(n.succ) == 0 {
+			n.succ = []Ref{n.self}
+		}
+		first := n.succ[0]
+		for j := range n.finger {
+			if !r.net.Alive(n.finger[j].Addr) {
+				n.finger[j] = first
+			}
+		}
+		n.mu.Unlock()
+	}
+	r.Stabilize(cost)
+}

@@ -1,0 +1,116 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVoluntaryLeaveKeepsKeys(t *testing.T) {
+	_, nodes := buildRing(t, 24, 20)
+	rng := rand.New(rand.NewSource(21))
+	keys := make([]uint64, 12)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if err := nodes[i%4].Publish(keys[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A third of the nodes (never the publishers) leave gracefully.
+	left := 0
+	for _, n := range nodes[4:] {
+		if left == 8 {
+			break
+		}
+		if err := n.Leave(nil); err != nil {
+			t.Fatalf("leave: %v", err)
+		}
+		left++
+	}
+	nodes[0].ring.Stabilize(nil)
+	for _, k := range keys {
+		if res := nodes[1].Locate(k, nil); !res.Found {
+			t.Fatalf("key %d lost after voluntary leaves", k)
+		}
+	}
+}
+
+func TestDoubleLeaveAndLastNode(t *testing.T) {
+	r, nodes := buildRing(t, 2, 22)
+	if err := nodes[0].Leave(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Leave(nil); err == nil {
+		t.Error("double leave accepted")
+	}
+	if err := nodes[1].Leave(nil); err == nil {
+		t.Error("last node leave accepted")
+	}
+	_ = r
+}
+
+func TestFailureThenRepair(t *testing.T) {
+	r, nodes := buildRing(t, 32, 23)
+	key := HashKey("survivor", 1)
+	if err := nodes[0].Publish(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill a quarter of the ring (not node 0 and not the key's owner).
+	owner, _, err := nodes[0].FindSuccessor(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := 0
+	for _, n := range nodes[1:] {
+		if killed == 8 {
+			break
+		}
+		if n == owner || n == nodes[0] {
+			continue
+		}
+		r.Fail(n)
+		killed++
+	}
+	r.Repair(nil)
+	// Ring re-formed: lookups from every survivor still find the key.
+	r.mu.RLock()
+	survivors := make([]*Node, 0, len(r.byAddr))
+	for _, n := range r.byAddr {
+		survivors = append(survivors, n)
+	}
+	r.mu.RUnlock()
+	if len(survivors) != 32-killed {
+		t.Fatalf("survivors %d", len(survivors))
+	}
+	for _, n := range survivors {
+		if res := n.Locate(key, nil); !res.Found {
+			t.Fatalf("key lost after repair (from %d)", n.self.Addr)
+		}
+	}
+}
+
+func TestFailedOwnerLosesKeysUntilRepublish(t *testing.T) {
+	r, nodes := buildRing(t, 24, 24)
+	key := HashKey("fragile", 1)
+	publisher := nodes[0]
+	if err := publisher.Publish(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	owner, _, err := publisher.FindSuccessor(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner == publisher {
+		t.Skip("publisher owns its own key")
+	}
+	r.Fail(owner)
+	r.Repair(nil)
+	if res := nodes[1].Locate(key, nil); res.Found {
+		t.Fatal("key survived its owner's death without republish?")
+	}
+	if err := publisher.Publish(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	if res := nodes[1].Locate(key, nil); !res.Found {
+		t.Fatal("republish did not restore the key")
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// Join inserts a new node into the overlay (Section 4, Figure 7):
+//
+//  1. route from the gateway to the new ID's primary surrogate;
+//  2. copy the surrogate's neighbor table as a preliminary table, making the
+//     new node immediately functional;
+//  3. acknowledged-multicast to every node sharing α = GCP(new, surrogate),
+//     carrying the watch list; each reached node links the new node where it
+//     improves its table and transfers object pointers that must now root at
+//     the new node (LinkAndXferRoot);
+//  4. run the incremental nearest-neighbor algorithm (Section 3, Figure 4)
+//     to build locality-optimal neighbor sets level by level.
+//
+// Join is safe to call concurrently for different new nodes (Section 4.4):
+// the multicast pins in-flight inserters so simultaneous insertions filling
+// the same or related holes discover each other (Theorem 6).
+func (m *Mesh) Join(gateway *Node, newID ids.ID, addr netsim.Addr) (*Node, *netsim.Cost, error) {
+	cost := &netsim.Cost{}
+	if gateway == nil {
+		return nil, cost, fmt.Errorf("core: nil gateway")
+	}
+
+	// Step 1: acquire the primary surrogate.
+	surrogate, _, err := gateway.SurrogateFor(newID, cost)
+	if err != nil {
+		return nil, cost, fmt.Errorf("core: surrogate acquisition: %w", err)
+	}
+	if surrogate.id.Equal(newID) {
+		return nil, cost, fmt.Errorf("core: node-ID %v already present", newID)
+	}
+
+	n, err := m.register(newID, addr)
+	if err != nil {
+		return nil, cost, err
+	}
+	alpha := newID.Prefix(ids.CommonPrefixLen(newID, surrogate.id))
+
+	n.mu.Lock()
+	n.alpha = alpha
+	n.psurrogate = surrogate.entryFor(addr)
+	n.mu.Unlock()
+
+	// Step 2: preliminary neighbor table (GetPrelimNeighborTable): every
+	// link the surrogate has, re-evaluated from the new node's vantage
+	// point. The table may be far from optimal but satisfies connectivity.
+	if err := m.net.RPC(addr, surrogate.addr, cost); err != nil {
+		m.abortJoin(n)
+		return nil, cost, fmt.Errorf("core: surrogate died mid-join: %w", err)
+	}
+	prelim := surrogate.snapshotTable()
+	n.installPreliminary(surrogate, prelim, cost)
+
+	// Step 3: acknowledged multicast over α with the watch list.
+	watch := n.holeSlots()
+	ctx := &mcastCtx{
+		fn:        func(x *Node) { x.linkAndXferRoot(n, cost) },
+		cost:      cost,
+		newNode:   route.Entry{ID: n.id, Addr: n.addr},
+		holeLevel: alpha.Len(),
+		watch:     newWatchList(newID, watch),
+		newRef:    n,
+		visited:   map[string]bool{},
+	}
+	if err := m.net.Send(addr, surrogate.addr, cost, false); err != nil {
+		m.abortJoin(n)
+		return nil, cost, fmt.Errorf("core: surrogate died before multicast: %w", err)
+	}
+	surrogate.mcastArrive(alpha, ctx)
+	alphaList := ctx.reachedEntries()
+
+	// Step 4: nearest-neighbor descent, seeded with the α-list (the paper's
+	// optimization: "use the multicast in step 4 ... to get the first list
+	// of the nearest neighbor algorithm").
+	n.acquireNeighborTable(alphaList, alpha.Len(), cost)
+
+	n.mu.Lock()
+	n.state = stateActive
+	n.mu.Unlock()
+	return n, cost, nil
+}
+
+// abortJoin rolls back a half-registered node after a failed join.
+func (m *Mesh) abortJoin(n *Node) {
+	n.mu.Lock()
+	n.state = stateDead
+	n.mu.Unlock()
+	m.net.Detach(n.addr)
+	m.unregister(n)
+}
+
+// installPreliminary seeds the new node's table from the surrogate's links
+// (plus the surrogate itself), with distances recomputed from the new node.
+func (n *Node) installPreliminary(surrogate *Node, prelim map[int][]route.Entry, cost *netsim.Cost) {
+	addAtAllLevels := func(e route.Entry) {
+		if e.ID.Equal(n.id) {
+			return
+		}
+		e.Distance = n.mesh.net.Distance(n.addr, e.Addr)
+		e.Pinned, e.Leaving = false, false
+		max := ids.CommonPrefixLen(n.id, e.ID)
+		for l := 0; l <= max && l < n.table.Levels(); l++ {
+			n.addNeighborAndNotify(l, e, cost)
+		}
+	}
+	addAtAllLevels(surrogate.entryFor(n.addr))
+	seen := map[string]bool{}
+	for _, ents := range prelim {
+		for _, e := range ents {
+			if seen[e.ID.String()] {
+				continue
+			}
+			seen[e.ID.String()] = true
+			addAtAllLevels(e)
+		}
+	}
+}
+
+// holeSlots lists the new node's still-empty slots for the watch list. Lower
+// levels are mostly filled by the preliminary table; what remains is exactly
+// what Figure 11 describes being sent ("most of the lower levels ... filled
+// by the surrogate in the first step, and most of the upper levels ... zero").
+func (n *Node) holeSlots() []slotRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []slotRef
+	for l := 0; l < n.table.Levels(); l++ {
+		for d := 0; d < n.table.Base(); d++ {
+			if n.table.HasHole(l, ids.Digit(d)) {
+				out = append(out, slotRef{l, ids.Digit(d)})
+			}
+		}
+	}
+	return out
+}
+
+// linkAndXferRoot is the function the insertion multicast applies at every
+// α-node X (Figure 7): add the new node to X's table wherever it improves
+// it, and hand over object pointers whose root moves to the new node —
+// without this transfer "objects may become unreachable".
+func (x *Node) linkAndXferRoot(n *Node, cost *netsim.Cost) {
+	if x.id.Equal(n.id) {
+		return
+	}
+	d := x.mesh.net.Distance(x.addr, n.addr)
+	e := route.Entry{ID: n.id, Addr: n.addr, Distance: d}
+	max := ids.CommonPrefixLen(x.id, n.id)
+	x.mu.Lock()
+	var improves []int
+	for l := 0; l <= max && l < x.table.Levels(); l++ {
+		if x.table.WouldImprove(l, n.id, d) {
+			improves = append(improves, l)
+		}
+	}
+	x.mu.Unlock()
+	for _, l := range improves {
+		x.addNeighborAndNotify(l, e, cost)
+	}
+
+	// Root transfer: every pointer rooted at X is re-routed from level 0 —
+	// the true-root computation. The new node may have re-rooted a key by
+	// filling the (|α|, ·) hole at *upstream* nodes, a change X cannot see by
+	// re-examining its own table at the record's arrival level; a full
+	// re-route from X converges on the current unique root (Theorem 2) and
+	// deposits the pointer there. If the root did not move, the walk simply
+	// re-terminates at X and the records refresh in place.
+	x.mu.Lock()
+	type moved struct {
+		guid ids.ID
+		rec  pointerRec
+	}
+	var moves []moved
+	for _, st := range x.objects {
+		for i := range st.recs {
+			r := st.recs[i]
+			terminalHere := x.nextHop(r.key, r.level, ids.ID{}, nil).terminal
+			if r.root || terminalHere {
+				st.recs[i].root = false
+				rr := st.recs[i]
+				rr.level = 0
+				moves = append(moves, moved{r.guid, rr})
+			}
+		}
+	}
+	x.mu.Unlock()
+	now := x.mesh.net.Epoch()
+	for _, mv := range moves {
+		x.forwardPointerPath(mv.guid, mv.rec, now, cost, ids.ID{})
+	}
+}
+
+// acquireNeighborTable is Figure 4's ACQUIRENEIGHBORTABLE: starting from the
+// closest k nodes sharing maxLevel digits, repeatedly derive the closest k
+// nodes sharing one digit fewer (Lemma 1) and fill the corresponding table
+// level (Lemma 2), down to the empty prefix.
+func (n *Node) acquireNeighborTable(seed []route.Entry, maxLevel int, cost *netsim.Cost) {
+	k := n.mesh.kList()
+	// The α-list from the multicast is complete, so use all of it to fill
+	// the top levels (Lemma 2 wants ~b·log n candidates per level; the
+	// trimmed k-list is only the descent vehicle of Lemma 1).
+	all := n.measureAll(seed, maxLevel)
+	n.buildTableFromList(all, maxLevel, cost)
+	list := keepClosestK(all, k)
+	for i := maxLevel - 1; i >= 0; i-- {
+		var cands []route.Entry
+		list, cands = n.getNextList(list, i, k, cost)
+		n.buildTableFromList(cands, i, cost)
+	}
+}
+
+// measureAll filters to candidates sharing >= level digits and fills in
+// their distances from the new node (metric oracle — deployments get these
+// from RTT measurements accumulated as a side effect of traffic).
+func (n *Node) measureAll(cands []route.Entry, level int) []route.Entry {
+	out := make([]route.Entry, 0, len(cands))
+	for _, c := range cands {
+		if c.ID.Equal(n.id) || ids.CommonPrefixLen(n.id, c.ID) < level {
+			continue
+		}
+		c.Distance = n.mesh.net.Distance(n.addr, c.Addr)
+		c.Pinned, c.Leaving = false, false
+		out = append(out, c)
+	}
+	return out
+}
+
+func keepClosestK(list []route.Entry, k int) []route.Entry {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Distance != list[j].Distance {
+			return list[i].Distance < list[j].Distance
+		}
+		return list[i].ID.Less(list[j].ID)
+	})
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}
+
+// buildTableFromList installs list members into every qualifying level >=
+// minLevel of the new node's table.
+func (n *Node) buildTableFromList(list []route.Entry, minLevel int, cost *netsim.Cost) {
+	for _, e := range list {
+		max := ids.CommonPrefixLen(n.id, e.ID)
+		for l := minLevel; l <= max && l < n.table.Levels(); l++ {
+			n.addNeighborAndNotify(l, e, cost)
+		}
+	}
+}
+
+// getNextList is Figure 4's GETNEXTLIST: ask every node on the level-(i+1)
+// list for its forward and backward pointers at level i and keep the k
+// closest level-i nodes; those k are contacted and each checks whether the
+// new node improves its own table (AddToTableIfCloser — Theorem 4's update
+// mechanism). It also returns the full measured candidate set so the caller
+// can fill table levels from it (Lemma 2).
+func (n *Node) getNextList(list []route.Entry, level, k int, cost *netsim.Cost) (trimmed, all []route.Entry) {
+	candidates := map[string]route.Entry{}
+	for _, c := range list {
+		candidates[c.ID.String()] = c
+	}
+	for _, c := range list {
+		peer, err := n.mesh.rpc(n.addr, c, cost, false)
+		if err != nil {
+			n.noteDead(c, cost)
+			continue
+		}
+		peer.mu.Lock()
+		var found []route.Entry
+		if level < peer.table.Levels() {
+			for d := 0; d < peer.table.Base(); d++ {
+				found = append(found, peer.table.Set(level, ids.Digit(d))...)
+			}
+			found = append(found, peer.table.Backs(level)...)
+		}
+		peer.mu.Unlock()
+		for _, f := range found {
+			if f.ID.Equal(n.id) {
+				continue
+			}
+			if _, ok := candidates[f.ID.String()]; !ok {
+				candidates[f.ID.String()] = f
+			}
+		}
+	}
+	union := make([]route.Entry, 0, len(candidates))
+	for _, e := range candidates {
+		union = append(union, e)
+	}
+	all = n.measureAll(union, level)
+	trimmed = n.contactList(keepClosestK(append([]route.Entry(nil), all...), k), cost)
+	return trimmed, all
+}
+
+// contactList probes each list member (dropping corpses) and lets it run
+// AddToTableIfCloser (Figure 4 line 4 applies to list members, which is what
+// keeps the per-level message cost at O(k) and the whole join at O(log² n);
+// Theorem 4 guarantees every node needing an update appears on some level's
+// k-list).
+func (n *Node) contactList(list []route.Entry, cost *netsim.Cost) []route.Entry {
+	kept := list[:0]
+	for _, c := range list {
+		peer, err := n.mesh.rpc(n.addr, c, cost, false)
+		if err != nil {
+			continue
+		}
+		peer.addToTableIfCloser(n, cost)
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// addToTableIfCloser lets an existing node x adopt the inserting node n
+// wherever it improves x's neighbor sets (Figure 4 line 4).
+func (x *Node) addToTableIfCloser(n *Node, cost *netsim.Cost) {
+	d := x.mesh.net.Distance(x.addr, n.addr)
+	max := ids.CommonPrefixLen(x.id, n.id)
+	x.mu.Lock()
+	var improves []int
+	for l := 0; l <= max && l < x.table.Levels(); l++ {
+		if x.table.WouldImprove(l, n.id, d) {
+			improves = append(improves, l)
+		}
+	}
+	x.mu.Unlock()
+	e := route.Entry{ID: n.id, Addr: n.addr, Distance: d}
+	for _, l := range improves {
+		x.addNeighborAndNotify(l, e, cost)
+	}
+}

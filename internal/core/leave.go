@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// Leave removes the node gracefully (Section 5.1, Figure 12): a two-phase
+// voluntary delete that keeps objects available throughout.
+//
+// Phase 1 notifies every backpointer holder: the link is marked "leaving"
+// and replacement candidates (the departing node's own slot-mates) are
+// offered; holders re-route pointer paths that ran through the departing
+// node as if it were already gone.
+//
+// Phase 2 hands objects rooted here to their post-departure surrogates and
+// withdraws the replicas this node itself serves.
+//
+// Phase 3 sends the final delete notification: holders drop the link
+// entirely, and forward neighbors retract their backpointers. Only then does
+// the node disconnect.
+func (n *Node) Leave(cost *netsim.Cost) error {
+	n.mu.Lock()
+	if n.state == stateDead {
+		n.mu.Unlock()
+		return errors.New("core: node already gone")
+	}
+	n.state = stateLeaving
+	backs := n.table.AllBacks()
+	n.mu.Unlock()
+
+	// Phase 1: leaving notification with per-level replacements.
+	for level, holders := range backs {
+		replacements := n.replacementsAt(level)
+		for _, h := range holders {
+			holder, err := n.mesh.oneWay(n.addr, h, cost)
+			if err != nil {
+				continue
+			}
+			holder.onPeerLeaving(n, level, replacements, cost)
+		}
+	}
+
+	// Phase 2a: withdraw replicas this node serves (they depart with it).
+	for _, g := range n.PublishedObjects() {
+		n.Unpublish(g, cost)
+	}
+
+	// Phase 2b: objects rooted here move to their new surrogate roots,
+	// routing as if this node did not exist. Availability is guaranteed
+	// because the transfer completes (with acknowledgments — our synchronous
+	// calls) before the final delete notification goes out.
+	n.mu.Lock()
+	type moved struct {
+		guid ids.ID
+		rec  pointerRec
+	}
+	var moves []moved
+	for _, st := range n.objects {
+		for _, r := range st.recs {
+			if r.root && !r.server.Equal(n.id) {
+				// Re-route from level 0: the post-departure root may diverge
+				// from this node's path at any level, not just the record's
+				// arrival level.
+				rr := r
+				rr.level = 0
+				moves = append(moves, moved{r.guid, rr})
+			}
+		}
+	}
+	n.mu.Unlock()
+	now := n.mesh.net.Epoch()
+	for _, mv := range moves {
+		n.forwardPointerPath(mv.guid, mv.rec, now, cost, n.id)
+	}
+
+	// Phase 3: final delete — everyone who links to or from n forgets it.
+	n.mu.Lock()
+	backs = n.table.AllBacks()
+	var forwards []route.Entry
+	n.table.ForEachNeighbor(func(_ int, e route.Entry) { forwards = append(forwards, e) })
+	n.state = stateDead
+	n.mu.Unlock()
+
+	seen := map[string]bool{}
+	for _, holders := range backs {
+		for _, h := range holders {
+			if seen[h.ID.String()] {
+				continue
+			}
+			seen[h.ID.String()] = true
+			holder, err := n.mesh.oneWay(n.addr, h, cost)
+			if err != nil {
+				continue
+			}
+			holder.onPeerDeleted(n.id, cost)
+		}
+	}
+	for _, f := range forwards {
+		if seen[f.ID.String()] {
+			continue
+		}
+		peer, err := n.mesh.oneWay(n.addr, f, cost)
+		if err != nil {
+			continue
+		}
+		peer.mu.Lock()
+		peer.table.Remove(n.id) // also clears any backpointer entries for n
+		peer.mu.Unlock()
+	}
+
+	n.mesh.net.Detach(n.addr)
+	n.mesh.unregister(n)
+	return nil
+}
+
+// replacementsAt returns the departing node's slot-mates at (level, own
+// digit) — valid substitutes for any holder whose level-`level` set contains
+// the departing node, since holder, departing node and slot-mates all share
+// the same length-`level` prefix and digit.
+func (n *Node) replacementsAt(level int) []route.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []route.Entry
+	for _, e := range n.table.Set(level, n.id.Digit(level)) {
+		if !e.ID.Equal(n.id) && !e.Leaving {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// onPeerLeaving is the phase-1 handler at a backpointer holder: mark links
+// leaving, adopt offered replacements, and re-route pointer paths that ran
+// through the leaver as if it were gone.
+func (h *Node) onPeerLeaving(leaver *Node, level int, replacements []route.Entry, cost *netsim.Cost) {
+	for _, r := range replacements {
+		if r.ID.Equal(h.id) {
+			continue
+		}
+		r.Distance = h.mesh.net.Distance(h.addr, r.Addr)
+		r.Pinned, r.Leaving = false, false
+		h.mu.Lock()
+		improves := h.table.WouldImprove(level, r.ID, r.Distance) || h.table.HasHole(level, r.ID.Digit(level))
+		h.mu.Unlock()
+		if improves {
+			h.addNeighborAndNotify(level, r, cost)
+		}
+	}
+	// Republish local pointers whose next hop is the leaver, routing as if
+	// it did not exist ("it republishes any local object pointers which
+	// normally route through A as if A did not exist"). This happens BEFORE
+	// the link is marked leaving: until the bypass path carries pointers,
+	// concurrent queries must keep routing through the (still live) leaver,
+	// or they could reach a pointer-less surrogate and fail.
+	h.mu.Lock()
+	type work struct {
+		guid ids.ID
+		rec  pointerRec
+	}
+	var rerouted []work
+	for _, st := range h.objects {
+		for _, r := range st.recs {
+			if r.root {
+				continue
+			}
+			dec := h.nextHop(r.key, r.level, ids.ID{}, nil)
+			if !dec.terminal && dec.next.ID.Equal(leaver.id) {
+				rerouted = append(rerouted, work{r.guid, r})
+			}
+		}
+	}
+	h.mu.Unlock()
+	now := h.mesh.net.Epoch()
+	for _, w := range rerouted {
+		h.forwardPointerPath(w.guid, w.rec, now, cost, leaver.id)
+	}
+	h.mu.Lock()
+	h.table.MarkLeaving(leaver.id)
+	h.mu.Unlock()
+}
+
+// onPeerDeleted is the phase-3 handler: drop the departed node and repair
+// any hole it leaves (Property 1), preferring the replacements adopted in
+// phase 1 (already in the table) and falling back to local search.
+func (h *Node) onPeerDeleted(dead ids.ID, cost *netsim.Cost) {
+	h.mu.Lock()
+	levels := h.table.Remove(dead)
+	type holeRef struct {
+		level int
+		digit ids.Digit
+	}
+	var holes []holeRef
+	for _, l := range levels {
+		d := dead.Digit(l)
+		if h.table.HasHole(l, d) {
+			holes = append(holes, holeRef{l, d})
+		}
+	}
+	h.mu.Unlock()
+	for _, hole := range holes {
+		h.repairHole(hole.level, hole.digit, dead, cost)
+	}
+}
+
+// Fail removes the node without any notification — a crash, network
+// partition or attack (Section 5.2). The rest of the overlay discovers the
+// failure lazily: probes time out, links are repaired on demand or by
+// SweepDead, and objects rooted at the corpse stay unavailable until the
+// next republish reaches their new surrogates.
+func (m *Mesh) Fail(n *Node) {
+	n.mu.Lock()
+	n.state = stateDead
+	n.mu.Unlock()
+	m.net.Detach(n.addr)
+	m.unregister(n)
+}

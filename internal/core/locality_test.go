@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+)
+
+// buildStubMesh grows a mesh over a transit-stub topology, returning the
+// mesh and, for convenience, the nodes grouped by stub region.
+func buildStubMesh(t testing.TB, seed int64) (*Mesh, map[int][]*Node) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := metric.NewTransitStub(metric.DefaultTransitStub(), rng)
+	net := netsim.New(ts)
+	m, err := NewMesh(net, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host nodes on every stub point (skip transit routers: region -1).
+	var addrs []netsim.Addr
+	for a := 0; a < ts.Size(); a++ {
+		if ts.Region[a] >= 0 {
+			addrs = append(addrs, netsim.Addr(a))
+		}
+	}
+	if _, _, err := m.GrowSequential(addrs, rng); err != nil {
+		t.Fatal(err)
+	}
+	byRegion := map[int][]*Node{}
+	for _, n := range m.Nodes() {
+		byRegion[m.regionOf(n.addr)] = append(byRegion[m.regionOf(n.addr)], n)
+	}
+	return m, byRegion
+}
+
+func TestLocalLocateNeverLeavesStub(t *testing.T) {
+	m, byRegion := buildStubMesh(t, 51)
+	// Pick a stub with several nodes; publish locally from one of them.
+	var region int
+	var members []*Node
+	for r, ms := range byRegion {
+		if len(ms) >= 4 {
+			region, members = r, ms
+			break
+		}
+	}
+	if members == nil {
+		t.Fatal("no populated stub")
+	}
+	server := members[0]
+	guid := testSpec.Hash("stub-local-object")
+	if err := server.PublishLocal(guid, nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := m.Net().Space().(*metric.Dense)
+	intraMax := 0.0
+	for _, a := range members {
+		for _, b := range members {
+			if d := ts.Distance(int(a.addr), int(b.addr)); d > intraMax {
+				intraMax = d
+			}
+		}
+	}
+	for _, client := range members[1:] {
+		var cost netsim.Cost
+		res, local := client.LocateLocal(guid, &cost)
+		if !res.Found {
+			t.Fatalf("intra-stub locate failed from %v", client.id)
+		}
+		if !local {
+			t.Fatalf("query from %v left the stub despite a local replica", client.id)
+		}
+		// Every hop stayed inside the stub, so the total distance is bounded
+		// by the stub diameter per message; each routing hop is an RPC whose
+		// response leg also charges distance (2 messages per hop).
+		if cost.Distance() > 2*float64(cost.Hops())*intraMax+1e-9 {
+			t.Fatalf("query paid wide-area latency %g (stub diameter %g, %d hops)",
+				cost.Distance(), intraMax, cost.Hops())
+		}
+	}
+	_ = region
+}
+
+func TestLocalLocateFallsBackToWideArea(t *testing.T) {
+	_, byRegion := buildStubMesh(t, 52)
+	var regions []int
+	for r, ms := range byRegion {
+		if len(ms) >= 2 {
+			regions = append(regions, r)
+		}
+		if len(regions) == 2 {
+			break
+		}
+	}
+	if len(regions) < 2 {
+		t.Fatal("need two stubs")
+	}
+	server := byRegion[regions[0]][0]
+	client := byRegion[regions[1]][0]
+	guid := testSpec.Hash("remote-object")
+	if err := server.PublishLocal(guid, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, local := client.LocateLocal(guid, nil)
+	if !res.Found {
+		t.Fatal("wide-area fallback failed")
+	}
+	if local {
+		t.Error("claimed local satisfaction for a remote-only object")
+	}
+}
+
+func TestPublishLocalDegradesWithoutRegions(t *testing.T) {
+	_, nodes := buildMesh(t, 16, testConfig(), 53)
+	guid := testSpec.Hash("plain-metric")
+	if err := nodes[0].PublishLocal(guid, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, local := nodes[4].LocateLocal(guid, nil)
+	if !res.Found || local {
+		t.Fatalf("degraded path broken: found=%v local=%v", res.Found, local)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// slotRef names one routing-table slot (level, digit).
+type slotRef struct {
+	level int
+	digit ids.Digit
+}
+
+// watchList is the Figure 11 watch list: the set of still-unfilled slots of
+// an inserting node, shared (thread-safely) across the whole multicast so
+// that any reached node that can fill a slot reports itself to the inserting
+// node exactly once.
+type watchList struct {
+	mu      sync.Mutex
+	newID   ids.ID
+	unfired map[slotRef]bool
+}
+
+func newWatchList(newID ids.ID, slots []slotRef) *watchList {
+	w := &watchList{newID: newID, unfired: make(map[slotRef]bool, len(slots))}
+	for _, s := range slots {
+		w.unfired[s] = true
+	}
+	return w
+}
+
+// claim reports the watched slots that x fills and atomically marks them
+// fired, so only the first filler notifies the inserting node per slot.
+func (w *watchList) claim(x ids.ID) []slotRef {
+	if w == nil {
+		return nil
+	}
+	cpl := ids.CommonPrefixLen(w.newID, x)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []slotRef
+	for s := range w.unfired {
+		if s.level <= cpl && s.level < x.Len() && x.Digit(s.level) == s.digit {
+			out = append(out, s)
+			delete(w.unfired, s)
+		}
+	}
+	return out
+}
+
+// mcastCtx carries one acknowledged-multicast operation.
+type mcastCtx struct {
+	fn   func(*Node) // applied exactly once per reached node (may be nil)
+	cost *netsim.Cost
+
+	// Insertion extensions (zero-valued for plain multicasts):
+	newNode   route.Entry // the inserting node this multicast announces
+	holeLevel int         // |α|: level of the hole the new node fills
+	watch     *watchList
+	newRef    *Node // resolved inserting node, for watch-list notifications
+
+	mu      sync.Mutex
+	visited map[string]bool
+	reached []route.Entry // every node the multicast touched, with addr
+}
+
+func (ctx *mcastCtx) firstVisit(n *Node) bool {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	k := n.id.String()
+	if ctx.visited[k] {
+		return false
+	}
+	ctx.visited[k] = true
+	ctx.reached = append(ctx.reached, route.Entry{ID: n.id, Addr: n.addr})
+	return true
+}
+
+func (ctx *mcastCtx) reachedEntries() []route.Entry {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	out := make([]route.Entry, len(ctx.reached))
+	copy(out, ctx.reached)
+	return out
+}
+
+// AcknowledgedMulticast contacts every node whose ID has the given prefix
+// (which must be a prefix of n's own ID), applying fn at each, and returns
+// when all acknowledgments are in (Section 4.1, Figure 8; Theorem 5
+// guarantees completeness given Property 1). It returns the set of reached
+// nodes.
+func (n *Node) AcknowledgedMulticast(p ids.Prefix, fn func(*Node), cost *netsim.Cost) ([]route.Entry, error) {
+	if !n.id.HasPrefix(p) {
+		return nil, fmt.Errorf("core: multicast prefix %v is not a prefix of %v", p, n.id)
+	}
+	ctx := &mcastCtx{fn: fn, cost: cost, visited: make(map[string]bool)}
+	n.mcastArrive(p, ctx)
+	return ctx.reachedEntries(), nil
+}
+
+// mcastArrive is the per-node message handler: arrival processing (pin the
+// inserting node, answer the watch list), then fan-out. The synchronous
+// return *is* the acknowledgment; when it returns, the entire subtree has
+// been reached (Theorem 5's induction).
+func (n *Node) mcastArrive(p ids.Prefix, ctx *mcastCtx) {
+	if !ctx.firstVisit(n) {
+		return // duplicate delivery via a pinned pointer; suppressed
+	}
+	pinnedHere := false
+	if !ctx.newNode.ID.IsZero() && !ctx.newNode.ID.Equal(n.id) {
+		// Pin the inserting node at the hole level so that (a) it cannot be
+		// evicted mid-insertion and (b) other multicasts passing through
+		// this slot are forwarded to it (Section 4.4).
+		e := ctx.newNode
+		e.Distance = n.mesh.net.Distance(n.addr, e.Addr)
+		e.Pinned = true
+		n.mu.Lock()
+		added, evicted := n.table.Add(ctx.holeLevel, e)
+		n.mu.Unlock()
+		if added {
+			pinnedHere = true
+			n.sendBackpointerAdd(ctx.holeLevel, e, ctx.cost)
+		}
+		for _, ev := range evicted {
+			n.sendBackpointerRemove(ctx.holeLevel, ev, ctx.cost)
+		}
+		// Watch list: if this node fills a slot the inserting node still
+		// lacks, tell it directly (Figure 11, CheckForNodesAndSend).
+		if slots := ctx.watch.claim(n.id); len(slots) > 0 && ctx.newRef != nil {
+			if _, err := n.mesh.oneWay(n.addr, ctx.newNode, ctx.cost); err == nil {
+				me := route.Entry{ID: n.id, Addr: n.addr,
+					Distance: n.mesh.net.Distance(ctx.newNode.Addr, n.addr)}
+				for _, s := range slots {
+					ctx.newRef.addNeighborAndNotify(s.level, me, ctx.cost)
+				}
+			}
+		}
+	}
+
+	n.mcastDescend(p, ctx)
+
+	if pinnedHere {
+		n.mu.Lock()
+		evicted := n.table.Unpin(ctx.holeLevel, ctx.newNode.ID)
+		n.mu.Unlock()
+		for _, ev := range evicted {
+			n.sendBackpointerRemove(ctx.holeLevel, ev, ctx.cost)
+		}
+	}
+}
+
+// mcastDescend forwards the multicast one digit deeper. The node sends to
+// one (unpinned) node per extension digit — plus every pinned pointer, so
+// concurrently inserting nodes are not missed — recursing on itself for its
+// own digit. When the node believes it is the only node with the prefix, it
+// applies the function: with self-recursion this makes every reached node
+// apply exactly once.
+func (n *Node) mcastDescend(p ids.Prefix, ctx *mcastCtx) {
+	n.mu.Lock()
+	if n.table.OnlyNodeWithPrefix(p) {
+		n.mu.Unlock()
+		if ctx.fn != nil {
+			ctx.fn(n)
+		}
+		return
+	}
+	l := p.Len()
+	type target struct {
+		e route.Entry
+		j ids.Digit
+	}
+	var selfDigit = n.id.Digit(l)
+	var targets []target
+	for j := 0; j < n.table.Base(); j++ {
+		d := ids.Digit(j)
+		set := n.table.Set(l, d)
+		if len(set) == 0 {
+			continue
+		}
+		sentUnpinned := false
+		for _, e := range set {
+			if e.Pinned {
+				targets = append(targets, target{e, d})
+			} else if !sentUnpinned {
+				targets = append(targets, target{e, d})
+				sentUnpinned = true
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	selfHandled := false
+	for _, t := range targets {
+		if t.e.ID.Equal(n.id) {
+			if !selfHandled {
+				selfHandled = true
+				n.mcastDescend(p.Extend(selfDigit), ctx)
+			}
+			continue
+		}
+		if !ctx.newNode.ID.IsZero() && t.e.ID.Equal(ctx.newNode.ID) {
+			continue // no point multicasting the new node to itself
+		}
+		child, err := n.mesh.rpc(n.addr, t.e, ctx.cost, false)
+		if err != nil {
+			n.noteDead(t.e, ctx.cost)
+			continue
+		}
+		child.mcastArrive(p.Extend(t.j), ctx)
+	}
+	if !selfHandled {
+		// The fan-out may have skipped the self digit if its set's primary
+		// was pinned-only; the owner still covers its own subtree.
+		n.mcastDescend(p.Extend(selfDigit), ctx)
+	}
+}

@@ -1,0 +1,417 @@
+// Package core implements the Tapestry overlay of Hildrum, Kubiatowicz, Rao
+// and Zhao, "Distributed Object Location in a Dynamic Network": a
+// location-independent routing infrastructure with routing locality that
+// adapts to arriving and departing nodes.
+//
+// A Mesh is one overlay instance over a simulated network. Each Node owns a
+// prefix routing table (Section 2.1), a bag of soft-state object pointers
+// (Section 2.2), and participates in the dynamic-membership protocols:
+// acknowledged multicast (Section 4.1), the incremental nearest-neighbor
+// table construction (Section 3), insertion that keeps objects available
+// (Sections 4.2–4.4), and voluntary/involuntary deletion (Section 5).
+//
+// Locking discipline: every node has a single mutex guarding its table,
+// pointer store and state. No node method ever sends a network message while
+// holding its own lock; handlers lock, copy what they need, unlock, then
+// communicate. This keeps the genuinely concurrent tests (simultaneous
+// insertion, churn) deadlock-free by construction.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// Scheme selects the surrogate-routing variant of Section 2.3.
+type Scheme int
+
+const (
+	// SchemeNative is Tapestry native routing: when the desired digit's
+	// entry is missing, try the next filled entry at the same level,
+	// wrapping around.
+	SchemeNative Scheme = iota
+	// SchemePRRLike is the distributed PRR-like variant: exact digits until
+	// the first hole, then best-bit-match (ties to the numerically higher
+	// digit), then always the numerically highest filled digit.
+	SchemePRRLike
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNative:
+		return "native"
+	case SchemePRRLike:
+		return "prr-like"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Config parameterises a Mesh.
+type Config struct {
+	// Spec shapes the identifier space. Base must exceed the square of the
+	// metric's expansion constant for the Section 3 guarantees.
+	Spec ids.Spec
+	// R is the neighbor-set capacity (primary + secondaries); the deployed
+	// Tapestry uses 3. Must be >= 2 so "am I the only α-node?" is locally
+	// decidable (see route.Table.OnlyNodeWithPrefix).
+	R int
+	// K is the nearest-neighbor list width of Section 3 (Lemma 1's
+	// O(log n)). Zero means auto: max(8, 3·⌈log₂ n⌉) evaluated per join
+	// against the current live population.
+	K int
+	// RootSetSize is |R_ψ|, the number of salted roots per object
+	// (Observation 2). Default 1.
+	RootSetSize int
+	// Surrogate selects the localized routing variant.
+	Surrogate Scheme
+	// PointerTTL is the soft-state lifetime of an object pointer in epochs;
+	// pointers older than PointerTTL epochs vanish unless republished.
+	PointerTTL int64
+	// Seed feeds the mesh-level RNG used for root selection on queries.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used throughout the paper-scale
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Spec:        ids.DefaultSpec,
+		R:           3,
+		K:           0,
+		RootSetSize: 1,
+		Surrogate:   SchemeNative,
+		PointerTTL:  3,
+		Seed:        1,
+	}
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Spec.Base == 0 && c.Spec.Digits == 0 {
+		c.Spec = ids.DefaultSpec
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return c, err
+	}
+	if c.R == 0 {
+		c.R = 3
+	}
+	if c.R < 2 {
+		return c, errors.New("core: R must be >= 2 (primary plus at least one backup)")
+	}
+	if c.RootSetSize == 0 {
+		c.RootSetSize = 1
+	}
+	if c.RootSetSize < 1 {
+		return c, errors.New("core: RootSetSize must be >= 1")
+	}
+	if c.PointerTTL == 0 {
+		c.PointerTTL = 3
+	}
+	if c.PointerTTL < 1 {
+		return c, errors.New("core: PointerTTL must be >= 1")
+	}
+	if c.K < 0 {
+		return c, errors.New("core: K must be >= 0")
+	}
+	return c, nil
+}
+
+// nodeState tracks a node's lifecycle.
+type nodeState int
+
+const (
+	stateInserting nodeState = iota
+	stateActive
+	stateLeaving
+	stateDead
+)
+
+// Node is one Tapestry participant.
+type Node struct {
+	mesh *Mesh
+	id   ids.ID
+	addr netsim.Addr
+
+	mu      sync.Mutex
+	table   *route.Table
+	objects map[string]*objState // GUID -> pointer records
+	state   nodeState
+
+	// published lists the GUIDs this node serves replicas of (it is a
+	// storage server for them); used for republish and audits.
+	published map[string]bool
+
+	// Insertion-window state (Section 4.3): while inserting, queries for
+	// unknown objects are bounced to the pre-insertion surrogate.
+	psurrogate route.Entry
+	alpha      ids.Prefix
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Addr returns the node's network address.
+func (n *Node) Addr() netsim.Addr { return n.addr }
+
+// Entry renders the node as a routing-table entry at distance 0 from itself;
+// callers adjust Distance for their own vantage point.
+func (n *Node) entryFor(viewer netsim.Addr) route.Entry {
+	return route.Entry{ID: n.id, Addr: n.addr, Distance: n.mesh.net.Distance(viewer, n.addr)}
+}
+
+// Mesh is one Tapestry overlay instance.
+type Mesh struct {
+	cfg Config
+	net *netsim.Network
+
+	mu     sync.RWMutex
+	byID   map[string]*Node
+	byAddr map[netsim.Addr]*Node
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewMesh creates an empty overlay on the given network.
+func NewMesh(net *netsim.Network, cfg Config) (*Mesh, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Mesh{
+		cfg:    cfg,
+		net:    net,
+		byID:   make(map[string]*Node),
+		byAddr: make(map[netsim.Addr]*Node),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Net returns the underlying simulated network.
+func (m *Mesh) Net() *netsim.Network { return m.net }
+
+// Spec returns the identifier spec.
+func (m *Mesh) Spec() ids.Spec { return m.cfg.Spec }
+
+// Bootstrap creates the first node of the overlay. It fails if the overlay
+// already has members (use Join) or the address or ID is taken.
+func (m *Mesh) Bootstrap(id ids.ID, addr netsim.Addr) (*Node, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.byID) != 0 {
+		return nil, errors.New("core: mesh already bootstrapped; use Join")
+	}
+	n := m.newNodeLocked(id, addr)
+	n.state = stateActive
+	return n, nil
+}
+
+// newNodeLocked allocates and registers a node; the caller holds m.mu.
+func (m *Mesh) newNodeLocked(id ids.ID, addr netsim.Addr) *Node {
+	n := &Node{
+		mesh:      m,
+		id:        id,
+		addr:      addr,
+		table:     route.New(m.cfg.Spec, id, addr, m.cfg.R),
+		objects:   make(map[string]*objState),
+		published: make(map[string]bool),
+		state:     stateInserting,
+	}
+	m.byID[id.String()] = n
+	m.byAddr[addr] = n
+	m.net.Attach(addr)
+	return n
+}
+
+// register validates uniqueness and creates an inserting node.
+func (m *Mesh) register(id ids.ID, addr netsim.Addr) (*Node, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.byID[id.String()]; dup {
+		return nil, fmt.Errorf("core: node-ID %v already in use", id)
+	}
+	if _, dup := m.byAddr[addr]; dup {
+		return nil, fmt.Errorf("core: address %d already hosts a node", addr)
+	}
+	return m.newNodeLocked(id, addr), nil
+}
+
+// unregister removes a departed node from the registry.
+func (m *Mesh) unregister(n *Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.byID, n.id.String())
+	delete(m.byAddr, n.addr)
+}
+
+// NodeAt returns the node hosted at addr, or nil.
+func (m *Mesh) NodeAt(addr netsim.Addr) *Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.byAddr[addr]
+}
+
+// NodeByID returns the registered node with the given ID, or nil.
+func (m *Mesh) NodeByID(id ids.ID) *Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.byID[id.String()]
+}
+
+// Nodes returns a snapshot of all registered nodes (including currently
+// inserting ones, excluding failed/departed ones).
+func (m *Mesh) Nodes() []*Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Node, 0, len(m.byID))
+	for _, n := range m.byID {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Size returns the number of registered nodes.
+func (m *Mesh) Size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.byID)
+}
+
+// randIntn draws from the mesh RNG under a lock (queries pick roots
+// randomly, Section 2.2).
+func (m *Mesh) randIntn(n int) int {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.rng.Intn(n)
+}
+
+// errDead distinguishes "destination's host is up but the overlay node is
+// gone" — treated exactly like an unreachable host by callers.
+var errDead = errors.New("core: node no longer participates")
+
+// rpc charges a request/response pair from caller to the entry's address and
+// resolves the live target node. A stale entry (address re-used by a
+// different ID, departed node, dead host) yields an error after charging the
+// probe, matching the paper's model where failures are detected by timeout.
+func (m *Mesh) rpc(from netsim.Addr, to route.Entry, cost *netsim.Cost, hop bool) (*Node, error) {
+	if err := m.net.Send(from, to.Addr, cost, hop); err != nil {
+		return nil, err
+	}
+	target := m.NodeAt(to.Addr)
+	if target == nil || !target.id.Equal(to.ID) {
+		return nil, fmt.Errorf("%w: %v@%d", errDead, to.ID, to.Addr)
+	}
+	target.mu.Lock()
+	dead := target.state == stateDead
+	target.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("%w: %v@%d", errDead, to.ID, to.Addr)
+	}
+	// Response leg.
+	_ = m.net.Send(to.Addr, from, cost, false)
+	return target, nil
+}
+
+// oneWay charges a single message and resolves the target (no response leg),
+// used for notifications that are fire-and-forget in the paper.
+func (m *Mesh) oneWay(from netsim.Addr, to route.Entry, cost *netsim.Cost) (*Node, error) {
+	if err := m.net.Send(from, to.Addr, cost, false); err != nil {
+		return nil, err
+	}
+	target := m.NodeAt(to.Addr)
+	if target == nil || !target.id.Equal(to.ID) {
+		return nil, fmt.Errorf("%w: %v@%d", errDead, to.ID, to.Addr)
+	}
+	return target, nil
+}
+
+// kList returns the effective nearest-neighbor list width for the current
+// population (Section 3: k = O(log n)).
+func (m *Mesh) kList() int {
+	if m.cfg.K > 0 {
+		return m.cfg.K
+	}
+	n := m.Size()
+	k := 8
+	for p := 1; p < n; p *= 2 {
+		k += 3
+	}
+	return k
+}
+
+// addNeighborAndNotify inserts e into n's table at the given level under n's
+// lock, then (outside the lock) registers the backpointer at e and retracts
+// backpointers at any evicted nodes. It reports whether e was added.
+func (n *Node) addNeighborAndNotify(level int, e route.Entry, cost *netsim.Cost) bool {
+	if e.ID.Equal(n.id) {
+		return false
+	}
+	n.mu.Lock()
+	added, evicted := n.table.Add(level, e)
+	n.mu.Unlock()
+	if added {
+		n.sendBackpointerAdd(level, e, cost)
+	}
+	for _, ev := range evicted {
+		n.sendBackpointerRemove(level, ev, cost)
+	}
+	return added
+}
+
+func (n *Node) sendBackpointerAdd(level int, e route.Entry, cost *netsim.Cost) {
+	target, err := n.mesh.oneWay(n.addr, e, cost)
+	if err != nil {
+		return // dead neighbor; the sweep will clean it up
+	}
+	target.mu.Lock()
+	target.table.AddBack(level, route.Entry{
+		ID:       n.id,
+		Addr:     n.addr,
+		Distance: e.Distance,
+	})
+	target.mu.Unlock()
+}
+
+func (n *Node) sendBackpointerRemove(level int, e route.Entry, cost *netsim.Cost) {
+	target, err := n.mesh.oneWay(n.addr, e, cost)
+	if err != nil {
+		return
+	}
+	target.mu.Lock()
+	target.table.RemoveBack(level, n.id)
+	target.mu.Unlock()
+}
+
+// snapshotTable returns a deep copy of the node's forward links as entries
+// grouped by level, used by GetNextList and the preliminary-table copy.
+func (n *Node) snapshotTable() map[int][]route.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[int][]route.Entry)
+	n.table.ForEachNeighbor(func(level int, e route.Entry) {
+		out[level] = append(out[level], e)
+	})
+	return out
+}
+
+// Table exposes the node's routing table for audits and experiments. The
+// caller must treat it as read-only and must not retain it across
+// membership changes; tests are the intended consumer.
+func (n *Node) Table() *route.Table { return n.table }
+
+// lockedView runs fn with the node's lock held; for audits only.
+func (n *Node) lockedView(fn func(t *route.Table)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(n.table)
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// pointerRec is one object pointer: the mapping from a GUID to one storage
+// server, deposited at every node on the publish path from that server
+// toward a root (Section 2.2). Unlike PRR, Tapestry keeps a pointer for
+// every replica. Pointers are soft state: they expire unless republished.
+type pointerRec struct {
+	guid       ids.ID // the object this pointer names
+	server     ids.ID
+	serverAddr netsim.Addr
+	key        ids.ID // the (salted) routing key this path follows
+	lastHop    ids.ID // previous node on the publish path; zero at the server
+	lastAddr   netsim.Addr
+	level      int   // digits resolved when the publish arrived here
+	epoch      int64 // deposit/refresh time for expiry
+	root       bool  // the publish path terminated at this node
+}
+
+func (r pointerRec) dedupeKey() string { return r.server.String() + "/" + r.key.String() }
+
+// objState is a node's pointer set for one GUID.
+type objState struct {
+	recs []pointerRec
+}
+
+func (o *objState) upsert(r pointerRec) (prev pointerRec, existed bool) {
+	k := r.dedupeKey()
+	for i := range o.recs {
+		if o.recs[i].dedupeKey() == k {
+			prev = o.recs[i]
+			o.recs[i] = r
+			return prev, true
+		}
+	}
+	o.recs = append(o.recs, r)
+	return pointerRec{}, false
+}
+
+func (o *objState) remove(server, key ids.ID) bool {
+	k := server.String() + "/" + key.String()
+	for i := range o.recs {
+		if o.recs[i].dedupeKey() == k {
+			o.recs = append(o.recs[:i], o.recs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// depositPointer stores/refreshes a pointer at n and reports the previous
+// record on this (server, key) path, for convergence detection during
+// pointer redistribution (Section 4.2).
+func (n *Node) depositPointer(r pointerRec) (prev pointerRec, existed bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// The store is keyed by the *unsalted* GUID so queries (which know only
+	// the GUID) find pointers deposited along any salted path.
+	st := n.objects[r.guid.String()]
+	if st == nil {
+		st = &objState{}
+		n.objects[r.guid.String()] = st
+	}
+	return st.upsert(r)
+}
+
+// Publish announces that n stores a replica of the object (Section 2.2,
+// Figure 2): for each of the |R_ψ| salted roots, a publish message routes
+// from n toward the root, depositing an object pointer at every hop.
+func (n *Node) Publish(guid ids.ID, cost *netsim.Cost) error {
+	n.mu.Lock()
+	n.published[guid.String()] = true
+	n.mu.Unlock()
+	return n.republishObject(guid, cost)
+}
+
+// republishObject re-walks all publish paths for one object this node
+// serves; used by Publish, the periodic soft-state refresh, and the
+// leave/repair paths.
+func (n *Node) republishObject(guid ids.ID, cost *netsim.Cost) error {
+	spec := n.mesh.cfg.Spec
+	var firstErr error
+	for i := 0; i < n.mesh.cfg.RootSetSize; i++ {
+		key := spec.Salt(guid, i)
+		if err := n.publishPath(guid, key, cost); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// publishPath walks one salted path from n to the key's root, depositing
+// pointers. Convergence with a stale path triggers backward deletion of the
+// outdated trail (Figure 9's DeletePointersBackward), keyed off a changed
+// lastHop at an already-present record.
+func (n *Node) publishPath(guid, key ids.ID, cost *netsim.Cost) error {
+	now := n.mesh.net.Epoch()
+	prevID, prevAddr := ids.ID{}, n.addr
+	res, err := n.routeToKey(key, cost, func(cur *Node, level int) bool {
+		rec := pointerRec{
+			guid:       guid,
+			server:     n.id,
+			serverAddr: n.addr,
+			key:        key,
+			lastHop:    prevID,
+			lastAddr:   prevAddr,
+			level:      level,
+			epoch:      now,
+		}
+		old, existed := cur.depositPointer(rec)
+		if existed && !old.lastHop.IsZero() && !old.lastHop.Equal(prevID) {
+			// The new path converged onto a node that remembers an older
+			// path arriving from elsewhere: tear the stale trail down, all
+			// the way back to the server (a full republish re-lays the
+			// entire path, so everything off it is stale).
+			cur.deleteBackward(guid, key, n.id, old.lastHop, old.lastAddr, n.id, cost)
+		}
+		prevID, prevAddr = cur.id, cur.addr
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	res.node.mu.Lock()
+	if st := res.node.objects[guid.String()]; st != nil {
+		for i := range st.recs {
+			if st.recs[i].server.Equal(n.id) && st.recs[i].key.Equal(key) {
+				st.recs[i].root = true
+			}
+		}
+	}
+	res.node.mu.Unlock()
+	return nil
+}
+
+// deleteBackward removes the (guid, key, server)-pointer from the stale
+// trail starting at (hopID, hopAddr) and walking lastHop links backwards,
+// stopping when the trail runs out or reaches stopAt — the node at which the
+// path diverged, whose own record (and everything upstream of it) is still
+// valid (Figure 9's DeletePointersBackward with its changedNode argument).
+func (n *Node) deleteBackward(guid, key, server ids.ID, hopID ids.ID, hopAddr netsim.Addr, stopAt ids.ID, cost *netsim.Cost) {
+	from := n.addr
+	for !hopID.IsZero() && !hopID.Equal(stopAt) && !hopID.Equal(server) {
+		target, err := n.mesh.oneWay(from, entryAt(hopID, hopAddr), cost)
+		if err != nil {
+			return
+		}
+		target.mu.Lock()
+		var next ids.ID
+		var nextAddr netsim.Addr
+		found := false
+		protected := false
+		if st := target.objects[guid.String()]; st != nil {
+			for _, r := range st.recs {
+				if r.key.Equal(key) && r.server.Equal(server) {
+					found = true
+					next, nextAddr = r.lastHop, r.lastAddr
+					// A node that is currently the terminal for this key —
+					// or whose record is root-flagged — must never lose the
+					// record to a backward sweep: under concurrent
+					// membership changes, a walk that followed a stale view
+					// could otherwise delete the very record queries depend
+					// on (the paper's rule that "the old root not delete
+					// pointers until the new root has acknowledged" is this
+					// guard in soft-state form). Stale residue that survives
+					// here is cleaned up by TTL expiry.
+					if r.root || target.nextHop(key, r.level, ids.ID{}, nil).terminal {
+						protected = true
+					}
+				}
+			}
+			if found && !protected {
+				st.remove(server, key)
+				if len(st.recs) == 0 {
+					delete(target.objects, guid.String())
+				}
+			}
+		}
+		target.mu.Unlock()
+		if !found || protected {
+			return
+		}
+		from = target.addr
+		hopID, hopAddr = next, nextAddr
+	}
+}
+
+func entryAt(id ids.ID, addr netsim.Addr) route.Entry {
+	return route.Entry{ID: id, Addr: addr}
+}
+
+// Unpublish withdraws this node's replica of the object: the deletion walks
+// each publish path removing this server's pointers (easier than in PRR
+// because every replica has its own pointers, Section 2.4).
+func (n *Node) Unpublish(guid ids.ID, cost *netsim.Cost) {
+	n.mu.Lock()
+	delete(n.published, guid.String())
+	n.mu.Unlock()
+	spec := n.mesh.cfg.Spec
+	for i := 0; i < n.mesh.cfg.RootSetSize; i++ {
+		key := spec.Salt(guid, i)
+		_, _ = n.routeToKey(key, nil, func(cur *Node, level int) bool {
+			cur.mu.Lock()
+			if st := cur.objects[guid.String()]; st != nil {
+				st.remove(n.id, key)
+				if len(st.recs) == 0 {
+					delete(cur.objects, guid.String())
+				}
+			}
+			cur.mu.Unlock()
+			return false
+		})
+		_ = cost
+	}
+}
+
+// LocateResult reports a successful (or failed) object location.
+type LocateResult struct {
+	Found      bool
+	Server     ids.ID      // the replica the query reached
+	ServerAddr netsim.Addr // its network address
+	FoundAt    ids.ID      // the node whose pointer satisfied the query
+	Hops       int         // application-level hops traversed (incl. final hop to the server)
+}
+
+// Locate routes a query for the object from n toward a root, stopping at the
+// first node holding a pointer and then proceeding to the closest replica
+// (Section 2.2, Figure 3). With multiple roots the starting root is chosen
+// at random and the rest are tried on failure (Observation 1).
+func (n *Node) Locate(guid ids.ID, cost *netsim.Cost) LocateResult {
+	k := n.mesh.cfg.RootSetSize
+	start := 0
+	if k > 1 {
+		start = n.mesh.randIntn(k)
+	}
+	for t := 0; t < k; t++ {
+		salt := (start + t) % k
+		if res := n.locateVia(guid, salt, cost); res.Found {
+			return res
+		}
+	}
+	return LocateResult{}
+}
+
+// LocateVia runs a single-root query with an explicit salt; exposed for
+// experiments that need deterministic root choice.
+func (n *Node) LocateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult {
+	return n.locateVia(guid, salt, cost)
+}
+
+func (n *Node) locateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult {
+	key := n.mesh.cfg.Spec.Salt(guid, salt)
+	cur := n
+	level := 0
+	hops := 0
+	visited := map[string]bool{}
+	deadSet := map[string]bool{}
+	exclude := ids.ID{}
+	maxHops := n.table.Levels()*n.table.Base() + 8
+	for hops <= maxHops {
+		if res, ok := cur.serveQuery(guid, cost, &hops); ok {
+			return res
+		}
+		// Loop detection (Section 4.3: "including information in the message
+		// header about where the request has been").
+		if visited[cur.id.String()] {
+			return LocateResult{}
+		}
+		visited[cur.id.String()] = true
+
+		cur.mu.Lock()
+		dec := cur.nextHop(key, level, exclude, deadSet)
+		inserting := cur.state == stateInserting
+		psur := cur.psurrogate
+		alpha := cur.alpha
+		cur.mu.Unlock()
+
+		if dec.terminal {
+			if inserting && !psur.ID.IsZero() && !visited[psur.ID.String()] {
+				// Figure 10: an inserting node that cannot satisfy the query
+				// bounces it to its pre-insertion surrogate, which routes as
+				// if the new node did not exist.
+				exclude = cur.id
+				next, err := n.mesh.rpc(cur.addr, psur, cost, true)
+				if err != nil {
+					return LocateResult{}
+				}
+				cur = next
+				level = alpha.Len()
+				hops++
+				continue
+			}
+			return LocateResult{} // true root reached without a pointer
+		}
+		next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
+		if err != nil {
+			deadSet[dec.next.ID.String()] = true
+			cur.noteDead(dec.next, cost)
+			continue
+		}
+		cur = next
+		level = dec.nextLevel
+		hops++
+	}
+	return LocateResult{}
+}
+
+// serveQuery checks cur's pointer store for the object; on a hit the query
+// proceeds to the closest live replica known here.
+func (cur *Node) serveQuery(guid ids.ID, cost *netsim.Cost, hops *int) (LocateResult, bool) {
+	cur.mu.Lock()
+	var cands []pointerRec
+	if st := cur.objects[guid.String()]; st != nil {
+		cands = append(cands, st.recs...)
+	}
+	cur.mu.Unlock()
+	// "If multiple pointers are encountered, the query proceeds to the
+	// closest replica to the current node."
+	for len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cur.mesh.net.Distance(cur.addr, cands[i].serverAddr) <
+				cur.mesh.net.Distance(cur.addr, cands[best].serverAddr) {
+				best = i
+			}
+		}
+		rec := cands[best]
+		cands = append(cands[:best], cands[best+1:]...)
+		server, err := cur.mesh.rpc(cur.addr, entryAt(rec.server, rec.serverAddr), cost, true)
+		if err != nil {
+			// Stale pointer to a dead replica: drop it and try the next one
+			// (soft state will finish the cleanup).
+			cur.mu.Lock()
+			if st := cur.objects[guid.String()]; st != nil {
+				st.remove(rec.server, rec.key)
+			}
+			cur.mu.Unlock()
+			continue
+		}
+		server.mu.Lock()
+		serves := server.published[guid.String()]
+		server.mu.Unlock()
+		if !serves {
+			continue
+		}
+		*hops++
+		return LocateResult{
+			Found:      true,
+			Server:     rec.server,
+			ServerAddr: rec.serverAddr,
+			FoundAt:    cur.id,
+			Hops:       *hops,
+		}, true
+	}
+	return LocateResult{}, false
+}
+
+// PublishedObjects lists the GUIDs this node serves.
+func (n *Node) PublishedObjects() []ids.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ids.ID, 0, len(n.published))
+	for g := range n.published {
+		id, err := n.mesh.cfg.Spec.Parse(g)
+		if err != nil {
+			panic(fmt.Sprintf("core: corrupt published key %q: %v", g, err))
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// PointerCount returns the number of object pointers stored at this node
+// (the directory-load measurement for Table 1's balance column).
+func (n *Node) PointerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, st := range n.objects {
+		c += len(st.recs)
+	}
+	return c
+}
+
+// RootCount returns the number of pointer records for which this node is a
+// path terminal (root), a second balance measurement.
+func (n *Node) RootCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, st := range n.objects {
+		for _, r := range st.recs {
+			if r.root {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// expirePointers drops pointer records older than the soft-state TTL.
+func (n *Node) expirePointers(now int64) {
+	ttl := n.mesh.cfg.PointerTTL
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for g, st := range n.objects {
+		kept := st.recs[:0]
+		for _, r := range st.recs {
+			if now-r.epoch < ttl {
+				kept = append(kept, r)
+			}
+		}
+		st.recs = kept
+		if len(st.recs) == 0 {
+			delete(n.objects, g)
+		}
+	}
+}
+
+// RepublishAll refreshes the publish paths of every object this node serves
+// (the periodic soft-state refresh of Section 6.5).
+func (n *Node) RepublishAll(cost *netsim.Cost) {
+	for _, g := range n.PublishedObjects() {
+		_ = n.republishObject(g, cost)
+	}
+}
+
+// OptimizeObjectPtrs re-routes every pointer path segment recorded at this
+// node whose next hop has changed (Section 4.2): the records are re-sent up
+// the current path; convergence nodes tear down the stale trail backwards.
+// Called after routing-table changes (e.g. a closer primary appeared); it is
+// a performance aid, not a correctness requirement — "timeouts and regular
+// republishes will eventually ensure that the object pointers are on the
+// correct nodes".
+func (n *Node) OptimizeObjectPtrs(cost *netsim.Cost) {
+	n.mu.Lock()
+	type workItem struct {
+		guid ids.ID
+		rec  pointerRec
+	}
+	var work []workItem
+	for g, st := range n.objects {
+		guid, err := n.mesh.cfg.Spec.Parse(g)
+		if err != nil {
+			panic(fmt.Sprintf("core: corrupt object key %q: %v", g, err))
+		}
+		for _, r := range st.recs {
+			if r.root {
+				continue
+			}
+			work = append(work, workItem{guid, r})
+		}
+	}
+	n.mu.Unlock()
+	now := n.mesh.net.Epoch()
+	for _, w := range work {
+		n.forwardPointerPath(w.guid, w.rec, now, cost, ids.ID{})
+	}
+}
+
+// forwardPointerPath re-walks the path of one pointer record from this node
+// toward its root using current tables (optionally routing as if `exclude`
+// did not exist), depositing/refreshing records and triggering backward
+// deletion where the new path converges with a stale one.
+func (n *Node) forwardPointerPath(guid ids.ID, rec pointerRec, now int64, cost *netsim.Cost, exclude ids.ID) {
+	prevID, prevAddr := n.id, n.addr
+	cur := n
+	level := rec.level
+	hops := 0
+	maxHops := n.table.Levels()*n.table.Base() + 8
+	for hops <= maxHops {
+		cur.mu.Lock()
+		dec := cur.nextHop(rec.key, level, exclude, nil)
+		cur.mu.Unlock()
+		if dec.terminal {
+			cur.mu.Lock()
+			if st := cur.objects[guid.String()]; st != nil {
+				for i := range st.recs {
+					if st.recs[i].server.Equal(rec.server) && st.recs[i].key.Equal(rec.key) {
+						st.recs[i].root = true
+					}
+				}
+			}
+			cur.mu.Unlock()
+			return
+		}
+		next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
+		if err != nil {
+			cur.noteDead(dec.next, cost)
+			continue
+		}
+		newRec := pointerRec{
+			guid: guid, server: rec.server, serverAddr: rec.serverAddr,
+			key: rec.key, lastHop: prevID, lastAddr: prevAddr,
+			level: dec.nextLevel, epoch: now,
+		}
+		old, existed := next.depositPointer(newRec)
+		if existed && !old.lastHop.IsZero() && !old.lastHop.Equal(newRec.lastHop) && !old.lastHop.Equal(n.id) {
+			// The new path converged onto a node holding a record from a
+			// different predecessor: delete the stale trail backwards, but
+			// only down to the node that initiated this re-route — the
+			// records upstream of it are still on the valid path.
+			next.deleteBackward(guid, rec.key, rec.server, old.lastHop, old.lastAddr, n.id, cost)
+		}
+		// Keep walking to the terminal even across convergence: the path
+		// downstream may have changed too (that is what triggered the
+		// re-route), so every node up to the new root must see the record.
+		prevID, prevAddr = next.id, next.addr
+		cur = next
+		level = dec.nextLevel
+		hops++
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// hopDecision is the outcome of one local routing decision (Section 2.3:
+// "all routing decisions are made based on the current routing table, the
+// source and destination GUIDs, and information collected along the route
+// ... the number of digits resolved so far").
+type hopDecision struct {
+	// next is the chosen neighbor; meaningful only when terminal is false.
+	next route.Entry
+	// nextLevel is the digits-resolved counter the message carries onward.
+	nextLevel int
+	// terminal reports that the current node is the root for the key.
+	terminal bool
+}
+
+// nextHop makes the local surrogate-routing decision for key with `level`
+// digits already resolved, skipping the node identified by exclude (used by
+// Figure 10's "route as if the new node were absent"; pass ids.ID{} for no
+// exclusion) and skipping entries whose hosts are observed dead in `deadSet`
+// (per-operation memory of failed probes). The caller holds n.mu.
+func (n *Node) nextHop(key ids.ID, level int, exclude ids.ID, deadSet map[string]bool) hopDecision {
+	digits := n.table.Levels()
+	for l := level; l < digits; l++ {
+		var set []route.Entry
+		switch n.mesh.cfg.Surrogate {
+		case SchemeNative:
+			set = n.scanNative(key, l, exclude, deadSet)
+		case SchemePRRLike:
+			set = n.scanPRRLike(key, l, exclude, deadSet)
+		default:
+			panic(fmt.Sprintf("core: unknown surrogate scheme %v", n.mesh.cfg.Surrogate))
+		}
+		if len(set) == 0 {
+			// Row is empty apart from excluded/dead entries; with self always
+			// present this only happens under exclusion — treat as terminal
+			// at this node (it is the best surviving surrogate).
+			return hopDecision{terminal: true}
+		}
+		if set[0].ID.Equal(n.id) {
+			continue // digit resolved by staying put; move to the next level
+		}
+		return hopDecision{next: set[0], nextLevel: l + 1}
+	}
+	return hopDecision{terminal: true}
+}
+
+// scanNative returns the candidate entries for Tapestry native routing at
+// row l: the first non-empty neighbor set encountered in surrogate order
+// (desired digit, then wrapping upward), primary first with live-looking
+// secondaries behind it for failover.
+func (n *Node) scanNative(key ids.ID, l int, exclude ids.ID, deadSet map[string]bool) []route.Entry {
+	for _, d := range ids.SurrogateOrder(n.table.Base(), key.Digit(l)) {
+		set := n.usableSet(l, d, exclude, deadSet)
+		if len(set) > 0 {
+			return set
+		}
+	}
+	return nil
+}
+
+// scanPRRLike implements the distributed PRR-like variant: exact digit if
+// present; otherwise the filled digit sharing the most significant bits with
+// the desired digit, ties broken toward the numerically higher digit. (The
+// paper's "after first hole always pick the numerically highest digit" is
+// the same rule once the desired digit is treated as its best-bit target; we
+// keep the per-level best-bit rule, which also yields a unique root under
+// Property 1 by the Theorem 2 argument.)
+func (n *Node) scanPRRLike(key ids.ID, l int, exclude ids.ID, deadSet map[string]bool) []route.Entry {
+	want := key.Digit(l)
+	if set := n.usableSet(l, want, exclude, deadSet); len(set) > 0 {
+		return set
+	}
+	bestScore := -1
+	var best []route.Entry
+	for d := 0; d < n.table.Base(); d++ {
+		dd := ids.Digit(d)
+		if dd == want {
+			continue
+		}
+		set := n.usableSet(l, dd, exclude, deadSet)
+		if len(set) == 0 {
+			continue
+		}
+		score := bitMatch(want, dd)*64 + d // bit match dominates; ties -> higher digit
+		if score > bestScore {
+			bestScore = score
+			best = set
+		}
+	}
+	return best
+}
+
+// bitMatch counts the matching high-order bits of two digits in an 8-bit
+// frame, which is order-preserving for any base <= 64.
+func bitMatch(a, b ids.Digit) int {
+	x := a ^ b
+	if x == 0 {
+		return 8
+	}
+	return bits.LeadingZeros8(x)
+}
+
+// usableSet filters the neighbor set at (l, d) to entries that are not
+// excluded and not locally known to be dead; order (primary first) is
+// preserved.
+func (n *Node) usableSet(l int, d ids.Digit, exclude ids.ID, deadSet map[string]bool) []route.Entry {
+	set := n.table.Set(l, d)
+	out := set[:0]
+	for _, e := range set {
+		if !exclude.IsZero() && e.ID.Equal(exclude) {
+			continue
+		}
+		if deadSet != nil && deadSet[e.ID.String()] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// routeResult is where a key-directed walk ended.
+type routeResult struct {
+	node  *Node
+	hops  int
+	level int // digits resolved upon arrival (== spec.Digits at a true root)
+}
+
+// routeToKey walks from n toward key's root via surrogate routing, invoking
+// visit (if non-nil) at every node on the path including the endpoints;
+// visit returns true to stop early (e.g. a locate found a pointer). It
+// retries through secondary neighbors when a primary's host turns out dead
+// (Observation 1 fault tolerance) and repairs the stale link.
+func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, level int) bool) (routeResult, error) {
+	cur := n
+	level := 0
+	hops := 0
+	deadSet := map[string]bool{}
+	maxHops := n.table.Levels()*n.table.Base() + 8 // generous loop guard; Theorem 2 implies <= Levels hops
+	for {
+		if visit != nil && visit(cur, level) {
+			return routeResult{node: cur, hops: hops, level: level}, nil
+		}
+		cur.mu.Lock()
+		dec := cur.nextHop(key, level, ids.ID{}, deadSet)
+		cur.mu.Unlock()
+		if dec.terminal {
+			return routeResult{node: cur, hops: hops, level: cur.table.Levels()}, nil
+		}
+		next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
+		if err != nil {
+			// Failed hop: remember the corpse for this operation, repair the
+			// table, and re-decide from the same node.
+			deadSet[dec.next.ID.String()] = true
+			cur.noteDead(dec.next, cost)
+			continue
+		}
+		cur = next
+		level = dec.nextLevel
+		hops++
+		if hops > maxHops {
+			return routeResult{}, fmt.Errorf("core: routing to %v exceeded %d hops (mesh inconsistent)", key, maxHops)
+		}
+	}
+}
+
+// RouteToNode routes a message from n to the node owning exactly the given
+// ID, returning the destination and the hop count. It fails if no such node
+// exists (the walk terminates at a surrogate with a different ID).
+func (n *Node) RouteToNode(target ids.ID, cost *netsim.Cost) (*Node, int, error) {
+	res, err := n.routeToKey(target, cost, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !res.node.id.Equal(target) {
+		return nil, res.hops, fmt.Errorf("core: no node %v (surrogate %v reached)", target, res.node.id)
+	}
+	return res.node, res.hops, nil
+}
+
+// SurrogateFor returns the root node for a key as seen from n — the node a
+// publish or query for the key would terminate at (Theorem 2: unique given
+// Property 1).
+func (n *Node) SurrogateFor(key ids.ID, cost *netsim.Cost) (*Node, int, error) {
+	res, err := n.routeToKey(key, cost, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.node, res.hops, nil
+}
+
+// noteDead reacts to a failed probe of a neighbor: the entry is removed
+// everywhere and holes are repaired via the local-search algorithm of
+// Section 5.2 ("asking its remaining neighbors for their nearest matching
+// nodes").
+func (n *Node) noteDead(e route.Entry, cost *netsim.Cost) {
+	n.mu.Lock()
+	if n.state == stateDead {
+		n.mu.Unlock()
+		return
+	}
+	levels := n.table.Remove(e.ID)
+	type holeRef struct {
+		level int
+		digit ids.Digit
+	}
+	var holes []holeRef
+	for _, l := range levels {
+		d := e.ID.Digit(l)
+		if n.table.HasHole(l, d) {
+			holes = append(holes, holeRef{l, d})
+		}
+	}
+	n.mu.Unlock()
+	for _, h := range holes {
+		n.repairHole(h.level, h.digit, e.ID, cost)
+	}
+}
+
+// repairHole attempts to refill N_{β,j} after a neighbor died, by asking
+// current neighbors for their matching entries. Not guaranteed to find the
+// closest replacement (the paper offers the full nearest-neighbor algorithm
+// for that); guaranteed to find *a* replacement if one is known to any
+// queried neighbor.
+func (n *Node) repairHole(level int, digit ids.Digit, dead ids.ID, cost *netsim.Cost) {
+	n.mu.Lock()
+	prefix := n.id.Prefix(level)
+	// Candidates able to know (β,j) nodes: anyone sharing β, i.e. entries at
+	// rows >= level, plus backpointers at those rows.
+	var informants []route.Entry
+	n.table.ForEachNeighbor(func(l int, e route.Entry) {
+		if l >= level {
+			informants = append(informants, e)
+		}
+	})
+	for l := level; l < n.table.Levels(); l++ {
+		informants = append(informants, n.table.Backs(l)...)
+	}
+	n.mu.Unlock()
+
+	seen := map[string]bool{dead.String(): true, n.id.String(): true}
+	for _, inf := range informants {
+		if seen[inf.ID.String()] {
+			continue
+		}
+		seen[inf.ID.String()] = true
+		target, err := n.mesh.rpc(n.addr, inf, cost, false)
+		if err != nil {
+			continue
+		}
+		target.mu.Lock()
+		var cands []route.Entry
+		if ids.CommonPrefixLen(target.id, n.id) >= level {
+			for _, c := range target.table.Set(level, digit) {
+				cands = append(cands, c)
+			}
+		}
+		target.mu.Unlock()
+		for _, c := range cands {
+			if c.ID.Equal(dead) || c.ID.Equal(n.id) || !c.ID.HasPrefix(prefix) {
+				continue
+			}
+			c.Distance = n.mesh.net.Distance(n.addr, c.Addr)
+			c.Pinned, c.Leaving = false, false
+			if n.mesh.net.Alive(c.Addr) && n.addNeighborAndNotify(level, c, cost) {
+				return
+			}
+		}
+	}
+}
+
+// SweepDead probes every forward neighbor (the soft-state heartbeat of
+// Section 6.5) and repairs links whose hosts no longer respond. It returns
+// the number of dead links removed.
+func (n *Node) SweepDead(cost *netsim.Cost) int {
+	neighbors := n.snapshotTable()
+	removed := 0
+	seen := map[string]bool{}
+	for _, ents := range neighbors {
+		for _, e := range ents {
+			if seen[e.ID.String()] {
+				continue
+			}
+			seen[e.ID.String()] = true
+			if _, err := n.mesh.rpc(n.addr, e, cost, false); err != nil {
+				n.noteDead(e, cost)
+				removed++
+			}
+		}
+	}
+	return removed
+}

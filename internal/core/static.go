@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// Participant names one (node-ID, address) pair for static construction.
+type Participant struct {
+	ID   ids.ID
+	Addr netsim.Addr
+}
+
+// BuildStatic constructs a complete Tapestry mesh from global knowledge —
+// the preprocessing the original PRR scheme assumes ("the original statement
+// of the algorithm required a static set of participating nodes as well as
+// significant work to preprocess this set"). Every neighbor set is filled
+// with exactly the R closest qualifying nodes, and backpointers are exact.
+//
+// BuildStatic is the oracle the dynamic algorithms are measured against
+// (Section 4: insertion should produce "the same as if we had been able to
+// build the network from static data") and the fast path for standing up
+// large meshes in benchmarks.
+func BuildStatic(net *netsim.Network, cfg Config, parts []Participant) (*Mesh, error) {
+	m, err := NewMesh(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	seenID := map[string]bool{}
+	seenAddr := map[netsim.Addr]bool{}
+	for _, p := range parts {
+		if seenID[p.ID.String()] {
+			return nil, fmt.Errorf("core: duplicate static ID %v", p.ID)
+		}
+		if seenAddr[p.Addr] {
+			return nil, fmt.Errorf("core: duplicate static address %d", p.Addr)
+		}
+		seenID[p.ID.String()] = true
+		seenAddr[p.Addr] = true
+	}
+	m.mu.Lock()
+	nodes := make([]*Node, len(parts))
+	for i, p := range parts {
+		nodes[i] = m.newNodeLocked(p.ID, p.Addr)
+		nodes[i].state = stateActive
+	}
+	m.mu.Unlock()
+
+	// For each node, sort all others by distance once, then fill every slot
+	// greedily: a node qualifies for (level, digit) slots derived from its
+	// common prefix with the owner.
+	type distPeer struct {
+		n *Node
+		d float64
+	}
+	for _, owner := range nodes {
+		peers := make([]distPeer, 0, len(nodes)-1)
+		for _, p := range nodes {
+			if p != owner {
+				peers = append(peers, distPeer{p, net.Distance(owner.addr, p.addr)})
+			}
+		}
+		sort.Slice(peers, func(i, j int) bool {
+			if peers[i].d != peers[j].d {
+				return peers[i].d < peers[j].d
+			}
+			return peers[i].n.id.Less(peers[j].n.id)
+		})
+		for _, pr := range peers {
+			cpl := ids.CommonPrefixLen(owner.id, pr.n.id)
+			for l := 0; l <= cpl && l < cfg.Spec.Digits; l++ {
+				e := route.Entry{ID: pr.n.id, Addr: pr.n.addr, Distance: pr.d}
+				added, _ := owner.table.Add(l, e)
+				if added {
+					pr.n.table.AddBack(l, route.Entry{ID: owner.id, Addr: owner.addr, Distance: pr.d})
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// StaticParticipants draws n distinct random IDs over the given addresses,
+// for convenience when standing up static meshes.
+func StaticParticipants(spec ids.Spec, addrs []netsim.Addr, rng interface{ Intn(int) int }) []Participant {
+	parts := make([]Participant, 0, len(addrs))
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		for {
+			d := make([]ids.Digit, spec.Digits)
+			for i := range d {
+				d[i] = ids.Digit(rng.Intn(spec.Base))
+			}
+			id := spec.Make(d)
+			if !seen[id.String()] {
+				seen[id.String()] = true
+				parts = append(parts, Participant{ID: id, Addr: a})
+				break
+			}
+		}
+	}
+	return parts
+}

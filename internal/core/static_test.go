@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+)
+
+func buildStaticMesh(t testing.TB, n int, cfg Config, seed int64) *Mesh {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(n * 4)
+	net := netsim.New(space)
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	parts := StaticParticipants(cfg.Spec, addrs, rng)
+	m, err := BuildStatic(net, cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStaticBuildSatisfiesAllProperties(t *testing.T) {
+	m := buildStaticMesh(t, 64, testConfig(), 41)
+	if v := m.AuditProperty1(); len(v) != 0 {
+		t.Fatalf("static Property 1:\n%v", v[:min(5, len(v))])
+	}
+	if v := m.AuditProperty2(); len(v) != 0 {
+		t.Fatalf("static Property 2:\n%v", v[:min(5, len(v))])
+	}
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]ids.ID, 16)
+	for i := range keys {
+		keys[i] = testSpec.Random(rng)
+	}
+	if v := m.AuditUniqueRoots(keys); len(v) != 0 {
+		t.Fatalf("static roots: %v", v)
+	}
+}
+
+func TestStaticRejectsDuplicates(t *testing.T) {
+	net := netsim.New(metric.NewRing(16))
+	id1 := testSpec.Hash("x")
+	if _, err := BuildStatic(net, testConfig(), []Participant{{id1, 0}, {id1, 1}}); err == nil {
+		t.Error("duplicate ID must fail")
+	}
+	id2 := testSpec.Hash("y")
+	if _, err := BuildStatic(net, testConfig(), []Participant{{id1, 0}, {id2, 0}}); err == nil {
+		t.Error("duplicate address must fail")
+	}
+}
+
+func TestStaticMeshServesObjects(t *testing.T) {
+	m := buildStaticMesh(t, 48, testConfig(), 43)
+	nodes := m.Nodes()
+	guid := testSpec.Hash("static-object")
+	if err := nodes[7].Publish(guid, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nodes {
+		if res := c.Locate(guid, nil); !res.Found {
+			t.Fatalf("locate failed from %v on static mesh", c.id)
+		}
+	}
+}
+
+// TestDynamicMatchesStatic is the Section 4 equivalence claim: growing a
+// mesh by sequential insertion (with full k) yields routing tables
+// equivalent to the omniscient static construction — same set of slot
+// occupants up to distance ties.
+func TestDynamicMatchesStatic(t *testing.T) {
+	cfg := testConfig()
+	cfg.K = 40
+	seed := int64(44)
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(160)
+	netDyn := netsim.New(space)
+	mDyn, err := NewMesh(netDyn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, 40)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	dynNodes, _, err := mDyn.GrowSequential(addrs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static twin with the same IDs and addresses.
+	parts := make([]Participant, len(dynNodes))
+	for i, n := range dynNodes {
+		parts[i] = Participant{ID: n.id, Addr: n.addr}
+	}
+	netStat := netsim.New(space)
+	mStat, err := BuildStatic(netStat, cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches := 0
+	for _, dn := range dynNodes {
+		sn := mStat.NodeByID(dn.id)
+		for l := 0; l < testSpec.Digits; l++ {
+			for d := 0; d < testSpec.Base; d++ {
+				ds := dn.table.Set(l, ids.Digit(d))
+				ss := sn.table.Set(l, ids.Digit(d))
+				if len(ds) != len(ss) {
+					mismatches++
+					continue
+				}
+				for i := range ds {
+					// Compare by distance (ties are interchangeable).
+					if ds[i].Distance != ss[i].Distance {
+						mismatches++
+						break
+					}
+				}
+			}
+		}
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d slots differ between dynamic and static construction", mismatches)
+	}
+}

@@ -1,0 +1,92 @@
+// Package directory implements the strawman the paper opens with: a
+// centralized directory of object locations. Simple and hop-optimal in
+// count, but "the average routing latency of this technique is proportional
+// to the average diameter of the network — independent of the actual
+// distance to the object", it concentrates all load on one server, and it is
+// a single point of failure.
+package directory
+
+import (
+	"sync"
+
+	"tapestry/internal/netsim"
+)
+
+// Directory is the central server plus its client population.
+type Directory struct {
+	server netsim.Addr
+	net    *netsim.Network
+
+	mu    sync.Mutex
+	table map[string][]netsim.Addr
+	load  int // requests served, for the load-balance comparison
+	dead  bool
+}
+
+// New places the directory server at the given address.
+func New(net *netsim.Network, server netsim.Addr) *Directory {
+	net.Attach(server)
+	return &Directory{server: server, net: net, table: map[string][]netsim.Addr{}}
+}
+
+// Publish registers a replica (one round trip to the server).
+func (d *Directory) Publish(key string, replica netsim.Addr, cost *netsim.Cost) error {
+	if err := d.net.RPC(replica, d.server, cost); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.load++
+	d.table[key] = append(d.table[key], replica)
+	return nil
+}
+
+// LocateResult mirrors the overlay baselines.
+type LocateResult struct {
+	Found  bool
+	Server netsim.Addr
+	Hops   int
+}
+
+// Locate asks the central server, which forwards the query to the replica
+// closest to the CLIENT (the directory knows everything, so it can make the
+// globally best choice — yet the client still paid a round trip to a
+// potentially distant server first).
+func (d *Directory) Locate(client netsim.Addr, key string, cost *netsim.Cost) LocateResult {
+	if err := d.net.Send(client, d.server, cost, true); err != nil {
+		return LocateResult{}
+	}
+	d.mu.Lock()
+	d.load++
+	reps := append([]netsim.Addr(nil), d.table[key]...)
+	d.mu.Unlock()
+	if len(reps) == 0 {
+		return LocateResult{Hops: 1}
+	}
+	best := reps[0]
+	for _, r := range reps[1:] {
+		if d.net.Distance(client, r) < d.net.Distance(client, best) {
+			best = r
+		}
+	}
+	if err := d.net.Send(d.server, best, cost, true); err != nil {
+		return LocateResult{}
+	}
+	return LocateResult{Found: true, Server: best, Hops: 2}
+}
+
+// Load returns the total requests the single server has absorbed.
+func (d *Directory) Load() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.load
+}
+
+// Fail kills the central server; every subsequent operation fails — the
+// single-point-of-failure property, made executable.
+func (d *Directory) Fail() {
+	d.mu.Lock()
+	d.dead = true
+	d.mu.Unlock()
+	d.net.Detach(d.server)
+}

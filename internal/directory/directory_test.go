@@ -1,0 +1,76 @@
+package directory
+
+import (
+	"testing"
+
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+)
+
+func TestPublishLocate(t *testing.T) {
+	net := netsim.New(metric.NewRing(64))
+	d := New(net, 0)
+	for a := netsim.Addr(1); a <= 8; a++ {
+		net.Attach(a)
+	}
+	if err := d.Publish("obj", 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := d.Locate(8, "obj", nil)
+	if !res.Found || res.Server != 4 || res.Hops != 2 {
+		t.Fatalf("locate: %+v", res)
+	}
+	if res := d.Locate(8, "ghost", nil); res.Found {
+		t.Error("found unpublished")
+	}
+	if d.Load() != 3 {
+		t.Errorf("load = %d, want 3", d.Load())
+	}
+}
+
+func TestClosestReplicaToClient(t *testing.T) {
+	net := netsim.New(metric.NewRing(64))
+	d := New(net, 0)
+	for _, a := range []netsim.Addr{10, 50, 20} {
+		net.Attach(a)
+	}
+	d.Publish("obj", 10, nil)
+	d.Publish("obj", 50, nil)
+	res := d.Locate(20, "obj", nil)
+	if res.Server != 10 {
+		t.Errorf("directory should pick the replica closest to the client, got %d", res.Server)
+	}
+}
+
+func TestLatencyIndependentOfObjectDistance(t *testing.T) {
+	// The paper's critique: client at 32, replica at 33 (adjacent), server
+	// at 0. The query still pays ~2x the client-server distance.
+	net := netsim.New(metric.NewRing(64))
+	d := New(net, 0)
+	net.Attach(32)
+	net.Attach(33)
+	d.Publish("near", 33, nil)
+	var cost netsim.Cost
+	res := d.Locate(32, "near", &cost)
+	if !res.Found {
+		t.Fatal("locate failed")
+	}
+	direct := net.Distance(32, 33)
+	if cost.Distance() < 10*direct {
+		t.Errorf("central directory paid %g, direct is %g — expected an order of magnitude worse", cost.Distance(), direct)
+	}
+}
+
+func TestSinglePointOfFailure(t *testing.T) {
+	net := netsim.New(metric.NewRing(16))
+	d := New(net, 0)
+	net.Attach(1)
+	d.Publish("x", 1, nil)
+	d.Fail()
+	if res := d.Locate(1, "x", nil); res.Found {
+		t.Error("directory served after failure")
+	}
+	if err := d.Publish("y", 1, nil); err == nil {
+		t.Error("publish succeeded after failure")
+	}
+}

@@ -1,0 +1,141 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tapestry/internal/can"
+	"tapestry/internal/chord"
+	"tapestry/internal/core"
+	"tapestry/internal/ids"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+	"tapestry/internal/pastry"
+)
+
+// exptSpec keeps identifiers short enough that modest simulations exercise
+// several routing levels while staying collision-free.
+var exptSpec = ids.Spec{Base: 16, Digits: 8}
+
+// pickAddrs chooses n distinct host addresses uniformly from the space.
+func pickAddrs(space metric.Space, n int, rng *rand.Rand) []netsim.Addr {
+	if n > space.Size() {
+		panic(fmt.Sprintf("expt: %d nodes do not fit in %d points", n, space.Size()))
+	}
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	return addrs
+}
+
+// ringSpace hosts n nodes on a 4n-point ring (sparse occupancy keeps
+// distances non-degenerate).
+func ringSpace(n int) metric.Space { return metric.NewRing(4 * n) }
+
+// tapEnv is a built Tapestry overlay plus bookkeeping.
+type tapEnv struct {
+	mesh      *core.Mesh
+	nodes     []*core.Node
+	joinCosts []int
+	net       *netsim.Network
+}
+
+// buildTapestry grows a Tapestry mesh. dynamic=true uses the paper's join
+// protocol (and records per-join message costs); false uses the static
+// oracle construction (fast path for large read-only meshes).
+func buildTapestry(space metric.Space, n int, cfg core.Config, seed int64, dynamic bool) tapEnv {
+	rng := rand.New(rand.NewSource(seed))
+	net := netsim.New(space)
+	addrs := pickAddrs(space, n, rng)
+	if dynamic {
+		m, err := core.NewMesh(net, cfg)
+		if err != nil {
+			panic(err)
+		}
+		nodes, costs, err := m.GrowSequential(addrs, rng)
+		if err != nil {
+			panic(err)
+		}
+		return tapEnv{mesh: m, nodes: nodes, joinCosts: costs, net: net}
+	}
+	parts := core.StaticParticipants(cfg.Spec, addrs, rng)
+	m, err := core.BuildStatic(net, cfg, parts)
+	if err != nil {
+		panic(err)
+	}
+	// Keep nodes aligned with the address order so node index i refers to
+	// the same location in every system built from the same seed.
+	nodes := make([]*core.Node, len(addrs))
+	for i, a := range addrs {
+		nodes[i] = m.NodeAt(a)
+	}
+	return tapEnv{mesh: m, nodes: nodes, net: net}
+}
+
+func defaultTapConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Spec = exptSpec
+	return cfg
+}
+
+type chordEnv struct {
+	ring      *chord.Ring
+	nodes     []*chord.Node
+	joinCosts []int
+	net       *netsim.Network
+}
+
+func buildChord(space metric.Space, n int, seed int64) chordEnv {
+	rng := rand.New(rand.NewSource(seed))
+	net := netsim.New(space)
+	r := chord.NewRing(net, seed)
+	nodes, costs, err := r.Grow(pickAddrs(space, n, rng), rng)
+	if err != nil {
+		panic(err)
+	}
+	r.Stabilize(nil)
+	return chordEnv{ring: r, nodes: nodes, joinCosts: costs, net: net}
+}
+
+type pastryEnv struct {
+	mesh  *pastry.Mesh
+	nodes []*pastry.Node
+	net   *netsim.Network
+}
+
+func buildPastry(space metric.Space, n int, seed int64) pastryEnv {
+	rng := rand.New(rand.NewSource(seed))
+	net := netsim.New(space)
+	leaf := 8
+	m, err := pastry.NewMesh(net, exptSpec, leaf)
+	if err != nil {
+		panic(err)
+	}
+	if err := m.Build(pastry.RandomParts(exptSpec, pickAddrs(space, n, rng), rng)); err != nil {
+		panic(err)
+	}
+	return pastryEnv{mesh: m, nodes: m.Nodes(), net: net}
+}
+
+type canEnv struct {
+	mesh      *can.Mesh
+	nodes     []*can.Node
+	joinCosts []int
+	net       *netsim.Network
+}
+
+func buildCAN(space metric.Space, n, dims int, seed int64) canEnv {
+	rng := rand.New(rand.NewSource(seed))
+	net := netsim.New(space)
+	m, err := can.NewMesh(net, dims)
+	if err != nil {
+		panic(err)
+	}
+	nodes, costs, err := m.Grow(pickAddrs(space, n, rng), rng)
+	if err != nil {
+		panic(err)
+	}
+	return canEnv{mesh: m, nodes: nodes, joinCosts: costs, net: net}
+}

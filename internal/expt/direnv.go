@@ -1,0 +1,43 @@
+package expt
+
+import (
+	"tapestry/internal/directory"
+	"tapestry/internal/netsim"
+)
+
+// dirEnv wraps the centralized-directory baseline with the same client
+// address layout as the Tapestry environment it is compared against.
+type dirEnv struct {
+	d     *directory.Directory
+	addrs []netsim.Addr // addrs[i] is client i's location (aligned with tapEnv.nodes)
+	net   *netsim.Network
+}
+
+// newDirEnvFor attaches the directory server at a free address of the
+// tapestry environment's space and registers the same clients.
+func newDirEnvFor(tap tapEnv) dirEnv {
+	net := netsim.New(tap.net.Space())
+	used := map[netsim.Addr]bool{}
+	addrs := make([]netsim.Addr, len(tap.nodes))
+	for i, n := range tap.nodes {
+		addrs[i] = n.Addr()
+		used[n.Addr()] = true
+		net.Attach(n.Addr())
+	}
+	server := netsim.Addr(0)
+	for a := 0; a < net.Size(); a++ {
+		if !used[netsim.Addr(a)] {
+			server = netsim.Addr(a)
+			break
+		}
+	}
+	return dirEnv{d: directory.New(net, server), addrs: addrs, net: net}
+}
+
+func (e dirEnv) publish(key string, replica netsim.Addr, cost *netsim.Cost) error {
+	return e.d.Publish(key, replica, cost)
+}
+
+func (e dirEnv) locate(client netsim.Addr, key string, cost *netsim.Cost) directory.LocateResult {
+	return e.d.Locate(client, key, cost)
+}

@@ -1,0 +1,228 @@
+// Package genmetric implements the static object-location scheme of
+// Section 7 ("Object Location in General Metric Spaces") — the strawman
+// "PRR v.0" of Table 1: polylogarithmic stretch on ARBITRARY metric spaces,
+// at O(log² n) average space per node, with no load balancing and no
+// dynamics.
+//
+// Construction (Theorem 7): for i ∈ [1, log n] and j ∈ [0, c·log n], sample
+// set S_{i,j} contains each node independently with probability 2^i / n,
+// with the nesting S_{i,j} ⊆ S_{i+1,j} enforced so that representatives get
+// monotonically closer as i grows. S_{0,j} holds a single designated node.
+// Every node stores its closest representative in each S_{i,j}; every
+// representative stores the objects of all nodes that point to it.
+//
+// Lookup from X: for i = log n down to 0, ask X's representative in each
+// S_{i,j} (all j in parallel) whether it knows the object; the first level
+// with a hit returns a pointer. Level 0 always succeeds for existing
+// objects, so location is deterministic.
+package genmetric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tapestry/internal/metric"
+)
+
+// Config shapes the directory.
+type Config struct {
+	// C scales the number of independent samples per level: j ranges over
+	// [0, C·log₂ n). Theorem 7 needs C large enough that one of the C·log n
+	// trials isolates a point in the intersection ball w.h.p.; C = 3 works
+	// well in practice.
+	C int
+	// Seed drives the sampling.
+	Seed int64
+}
+
+// DefaultConfig returns the parameters used in the experiments.
+func DefaultConfig() Config { return Config{C: 3, Seed: 1} }
+
+// Directory is the static data structure built over a metric space.
+type Directory struct {
+	space  metric.Space
+	levels int // i ∈ [0, levels]; level 0 is the singleton sample
+	width  int // j ∈ [0, width)
+
+	// member[i][j] lists the nodes of S_{i,j} (S_{i,j} ⊆ S_{i+1,j}).
+	member [][][]int
+	// rep[i][j][x] is x's closest node in S_{i,j} (-1 if the sample is
+	// empty, which only happens at small i with bad luck; lookups skip it).
+	rep [][][]int
+
+	// objects[i][j][r] maps a representative r to the object names published
+	// to it at level (i, j).
+	objects []map[int]map[string][]Location
+}
+
+// Location records one replica of an object.
+type Location struct {
+	Object string
+	Node   int // the storage node
+}
+
+// Build samples the sets and computes all representative pointers. It is
+// O(n² log n) time — acceptable for the static scheme, which the paper does
+// not make dynamic ("We do not know how to efficiently maintain this data
+// structure").
+func Build(space metric.Space, cfg Config) *Directory {
+	n := space.Size()
+	if n < 2 {
+		panic("genmetric: need at least two nodes")
+	}
+	if cfg.C < 1 {
+		panic("genmetric: C must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	levels := int(math.Ceil(math.Log2(float64(n))))
+	width := cfg.C * levels
+	if width < 1 {
+		width = 1
+	}
+
+	d := &Directory{space: space, levels: levels, width: width}
+	d.member = make([][][]int, levels+1)
+	d.rep = make([][][]int, levels+1)
+
+	// Sample top-down so S_{i,j} ⊆ S_{i+1,j}: a node in S_{i+1,j} stays in
+	// S_{i,j} with probability 2^i/2^(i+1) = 1/2.
+	d.member[levels] = make([][]int, width)
+	for j := 0; j < width; j++ {
+		for x := 0; x < n; x++ {
+			d.member[levels][j] = append(d.member[levels][j], x)
+		}
+	}
+	for i := levels - 1; i >= 1; i-- {
+		d.member[i] = make([][]int, width)
+		for j := 0; j < width; j++ {
+			for _, x := range d.member[i+1][j] {
+				if rng.Float64() < 0.5 {
+					d.member[i][j] = append(d.member[i][j], x)
+				}
+			}
+		}
+	}
+	// Level 0: one designated node shared by all j (the paper picks a single
+	// random node for S_{0,0}).
+	root := rng.Intn(n)
+	d.member[0] = make([][]int, width)
+	for j := 0; j < width; j++ {
+		d.member[0][j] = []int{root}
+	}
+
+	// Representatives: closest member of each sample from each node.
+	for i := 0; i <= levels; i++ {
+		d.rep[i] = make([][]int, width)
+		for j := 0; j < width; j++ {
+			reps := make([]int, n)
+			for x := 0; x < n; x++ {
+				reps[x] = closest(space, x, d.member[i][j])
+			}
+			d.rep[i][j] = reps
+		}
+	}
+	d.objects = make([]map[int]map[string][]Location, levels+1)
+	for i := range d.objects {
+		d.objects[i] = make(map[int]map[string][]Location)
+	}
+	return d
+}
+
+func closest(space metric.Space, x int, members []int) int {
+	best, bestD := -1, math.Inf(1)
+	for _, m := range members {
+		d := space.Distance(x, m)
+		if d < bestD || (d == bestD && m < best) {
+			best, bestD = m, d
+		}
+	}
+	return best
+}
+
+// Levels returns the number of sample levels (log₂ n).
+func (d *Directory) Levels() int { return d.levels }
+
+// Width returns the per-level sample count (c·log₂ n).
+func (d *Directory) Width() int { return d.width }
+
+// Publish registers an object stored at node: the object is recorded at the
+// node's representative in every S_{i,j} ("each node in S_{i,j} stores a
+// list of all objects located at nodes which point to it").
+func (d *Directory) Publish(object string, node int) {
+	if node < 0 || node >= d.space.Size() {
+		panic(fmt.Sprintf("genmetric: node %d out of range", node))
+	}
+	for i := 0; i <= d.levels; i++ {
+		for j := 0; j < d.width; j++ {
+			r := d.rep[i][j][node]
+			if r < 0 {
+				continue
+			}
+			byRep := d.objects[i][r]
+			if byRep == nil {
+				byRep = make(map[string][]Location)
+				d.objects[i][r] = byRep
+			}
+			byRep[object] = append(byRep[object], Location{Object: object, Node: node})
+		}
+	}
+}
+
+// LookupResult reports a query's outcome and its cost in metric distance.
+type LookupResult struct {
+	Found bool
+	Node  int     // a replica's storage node (the closest among those found at the winning level)
+	Level int     // the sample level that answered (i*)
+	Dist  float64 // total metric distance traveled by the query, including the final fetch hop
+}
+
+// Lookup finds the object from the vantage of node x: descending i from
+// log n to 0, query the representative in each S_{i,j}; the round-trip to
+// every probed representative is charged, which is what gives the scheme its
+// O(d·log³ n) total-distance bound (Theorem 7's accounting).
+func (d *Directory) Lookup(object string, x int) LookupResult {
+	traveled := 0.0
+	for i := d.levels; i >= 0; i-- {
+		var best *Location
+		bestD := math.Inf(1)
+		for j := 0; j < d.width; j++ {
+			r := d.rep[i][j][x]
+			if r < 0 {
+				continue
+			}
+			traveled += 2 * d.space.Distance(x, r) // query + response
+			if byRep := d.objects[i][r]; byRep != nil {
+				for idx := range byRep[object] {
+					loc := byRep[object][idx]
+					if dd := d.space.Distance(x, loc.Node); dd < bestD {
+						best, bestD = &byRep[object][idx], dd
+					}
+				}
+			}
+		}
+		if best != nil {
+			traveled += d.space.Distance(x, best.Node)
+			return LookupResult{Found: true, Node: best.Node, Level: i, Dist: traveled}
+		}
+	}
+	return LookupResult{Found: false, Dist: traveled}
+}
+
+// SpacePerNode returns the directory-entry count per node: representative
+// pointers plus stored object records, the Theorem 7 space measurement.
+func (d *Directory) SpacePerNode() []int {
+	n := d.space.Size()
+	out := make([]int, n)
+	for x := 0; x < n; x++ {
+		out[x] = (d.levels + 1) * d.width // representative pointers
+	}
+	for i := range d.objects {
+		for r, byRep := range d.objects[i] {
+			for _, locs := range byRep {
+				out[r] += len(locs)
+			}
+		}
+	}
+	return out
+}

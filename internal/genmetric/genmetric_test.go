@@ -1,0 +1,184 @@
+package genmetric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tapestry/internal/metric"
+)
+
+func buildDir(t testing.TB, n int, seed int64) (*Directory, metric.Space) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRandomGraph(n, 3, 10, rng)
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	return Build(space, cfg), space
+}
+
+func TestBuildShape(t *testing.T) {
+	d, _ := buildDir(t, 64, 1)
+	if d.Levels() != 6 {
+		t.Errorf("levels = %d, want 6 for n=64", d.Levels())
+	}
+	if d.Width() != 18 {
+		t.Errorf("width = %d, want 3*6", d.Width())
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	space := metric.NewRing(4)
+	for name, f := range map[string]func(){
+		"tiny": func() { Build(metric.NewRing(1), DefaultConfig()) },
+		"badC": func() { Build(space, Config{C: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNesting(t *testing.T) {
+	d, _ := buildDir(t, 128, 2)
+	for j := 0; j < d.Width(); j++ {
+		for i := 1; i < d.Levels(); i++ {
+			inner := map[int]bool{}
+			for _, x := range d.member[i][j] {
+				inner[x] = true
+			}
+			outer := map[int]bool{}
+			for _, x := range d.member[i+1][j] {
+				outer[x] = true
+			}
+			for x := range inner {
+				if !outer[x] {
+					t.Fatalf("S_{%d,%d} not nested in S_{%d,%d}", i, j, i+1, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicLocation(t *testing.T) {
+	// Theorem 7's base case: level 0 has a single shared node, so every
+	// published object is found from every vantage point.
+	d, space := buildDir(t, 96, 3)
+	rng := rand.New(rand.NewSource(4))
+	for o := 0; o < 12; o++ {
+		obj := fmt.Sprintf("obj-%d", o)
+		server := rng.Intn(space.Size())
+		d.Publish(obj, server)
+		for x := 0; x < space.Size(); x += 7 {
+			res := d.Lookup(obj, x)
+			if !res.Found {
+				t.Fatalf("object %s not found from %d", obj, x)
+			}
+		}
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	d, _ := buildDir(t, 64, 5)
+	if res := d.Lookup("never-published", 3); res.Found {
+		t.Error("found a ghost")
+	}
+}
+
+func TestPublishPanicsOutOfRange(t *testing.T) {
+	d, _ := buildDir(t, 64, 6)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Publish("x", 64)
+}
+
+func TestStretchPolylog(t *testing.T) {
+	// The scheme's stretch on a general metric should be bounded by a
+	// polylog factor (Theorem 7: distance ≲ d·log³n with the paper's
+	// accounting). Verify the measured stretch is finite and far below the
+	// trivial bound n.
+	n := 128
+	d, space := buildDir(t, n, 7)
+	rng := rand.New(rand.NewSource(8))
+	logn := math.Log2(float64(n))
+	budget := logn * logn * logn // log³ n
+	worst := 0.0
+	for o := 0; o < 10; o++ {
+		obj := fmt.Sprintf("s-%d", o)
+		server := rng.Intn(n)
+		d.Publish(obj, server)
+		for trial := 0; trial < 20; trial++ {
+			x := rng.Intn(n)
+			if x == server {
+				continue
+			}
+			res := d.Lookup(obj, x)
+			if !res.Found {
+				t.Fatalf("lookup failed")
+			}
+			stretch := res.Dist / space.Distance(x, server)
+			if stretch > worst {
+				worst = stretch
+			}
+		}
+	}
+	if worst > 3*budget {
+		t.Errorf("worst stretch %.1f exceeds 3·log³n = %.1f", worst, 3*budget)
+	}
+}
+
+func TestNearbyObjectsAnswerAtHighLevels(t *testing.T) {
+	// The locality mechanism: a replica near the client should be discovered
+	// at a high level (small ball), not by escalating to the global root.
+	n := 256
+	rng := rand.New(rand.NewSource(9))
+	space := metric.NewRing(n)
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	d := Build(space, cfg)
+	_ = rng
+	d.Publish("near", 10)
+	res := d.Lookup("near", 12) // two hops away on the ring
+	if !res.Found {
+		t.Fatal("not found")
+	}
+	if res.Level < d.Levels()/2 {
+		t.Errorf("nearby object answered at level %d of %d — locality not exploited", res.Level, d.Levels())
+	}
+}
+
+func TestSpacePerNode(t *testing.T) {
+	n := 128
+	d, _ := buildDir(t, n, 10)
+	for o := 0; o < 8; o++ {
+		d.Publish(fmt.Sprintf("sp-%d", o), o*13%n)
+	}
+	space := d.SpacePerNode()
+	if len(space) != n {
+		t.Fatal("wrong length")
+	}
+	minPointers := (d.Levels() + 1) * d.Width()
+	total := 0
+	for _, s := range space {
+		if s < minPointers {
+			t.Fatalf("node with %d entries, below pointer floor %d", s, minPointers)
+		}
+		total += s
+	}
+	// Average space O(log² n): pointers dominate; assert the average is
+	// within a small factor of (log n)·(c·log n).
+	avg := float64(total) / float64(n)
+	bound := 4 * float64(minPointers)
+	if avg > bound {
+		t.Errorf("average space %.1f exceeds %g", avg, bound)
+	}
+}

@@ -1,0 +1,244 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingDistances(t *testing.T) {
+	r := NewRing(10)
+	cases := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 5, 5}, {0, 6, 4}, {0, 9, 1}, {3, 8, 5}, {9, 0, 1},
+	}
+	for _, c := range cases {
+		if got := r.Distance(c.i, c.j); got != c.want {
+			t.Errorf("ring d(%d,%d) = %g, want %g", c.i, c.j, got, c.want)
+		}
+	}
+	if r.Size() != 10 {
+		t.Error("size")
+	}
+}
+
+func TestTorusDistances(t *testing.T) {
+	tor := NewTorus2D(4) // 16 points, side 4
+	cases := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},  // (0,0)->(1,0)
+		{0, 3, 1},  // wrap in x
+		{0, 4, 1},  // (0,0)->(0,1)
+		{0, 12, 1}, // wrap in y
+		{0, 5, 2},  // (0,0)->(1,1)
+		{0, 10, 4}, // (0,0)->(2,2)
+	}
+	for _, c := range cases {
+		if got := tor.Distance(c.i, c.j); got != c.want {
+			t.Errorf("torus d(%d,%d) = %g, want %g", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestCloudWraparound(t *testing.T) {
+	c := NewCloud([]float64{0.05, 0.95}, []float64{0.5, 0.5}, "t")
+	if got := c.Distance(0, 1); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("wraparound distance = %g, want 0.1", got)
+	}
+	if c.Distance(0, 0) != 0 {
+		t.Error("self distance")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"ring0":      func() { NewRing(0) },
+		"torus0":     func() { NewTorus2D(0) },
+		"cloudEmpty": func() { NewCloud(nil, nil, "x") },
+		"cloudLen":   func() { NewCloud([]float64{1}, []float64{1, 2}, "x") },
+		"graphTiny":  func() { NewRandomGraph(2, 1, 4, rand.New(rand.NewSource(1))) },
+		"tsBad":      func() { NewTransitStub(TransitStubParams{}, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTriangleOnAllSpaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spaces := []Space{
+		NewRing(97),
+		NewTorus2D(9),
+		NewUniformCloud(100, rng),
+		NewRandomGraph(80, 3, 10, rng),
+		NewTransitStub(DefaultTransitStub(), rng),
+	}
+	for _, s := range spaces {
+		if err := CheckTriangle(s, 2000, 1e-3); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if got := Diameter(NewRing(10)); got != 5 {
+		t.Errorf("ring diameter = %g, want 5", got)
+	}
+	if got := Diameter(NewTorus2D(4)); got != 4 {
+		t.Errorf("torus diameter = %g, want 4", got)
+	}
+}
+
+func TestRandomGraphConnectedAndSymmetric(t *testing.T) {
+	g := NewRandomGraph(60, 2, 8, rand.New(rand.NewSource(5)))
+	for i := 0; i < g.Size(); i += 7 {
+		for j := 0; j < g.Size(); j += 5 {
+			if i == j {
+				continue
+			}
+			d := g.Distance(i, j)
+			if d <= 0 || math.IsInf(d, 1) {
+				t.Fatalf("d(%d,%d)=%g not finite positive", i, j, d)
+			}
+			if g.Distance(j, i) != d {
+				t.Fatalf("asymmetric")
+			}
+		}
+	}
+}
+
+func TestTransitStubStructure(t *testing.T) {
+	p := DefaultTransitStub()
+	ts := NewTransitStub(p, rand.New(rand.NewSource(3)))
+	if ts.Size() != p.NodeCount() {
+		t.Fatalf("size %d, want %d", ts.Size(), p.NodeCount())
+	}
+	if len(ts.Region) != ts.Size() {
+		t.Fatal("region labels missing")
+	}
+	transit := p.TransitDomains * p.TransitPerDom
+	for i := 0; i < transit; i++ {
+		if ts.Region[i] != -1 {
+			t.Fatalf("transit node %d mislabelled %d", i, ts.Region[i])
+		}
+	}
+	// Every stub domain has exactly StubSize members.
+	counts := map[int]int{}
+	for _, r := range ts.Region[transit:] {
+		counts[r]++
+	}
+	wantStubs := transit * p.StubsPerTransit
+	if len(counts) != wantStubs {
+		t.Fatalf("%d stub domains, want %d", len(counts), wantStubs)
+	}
+	for r, c := range counts {
+		if c != p.StubSize {
+			t.Fatalf("stub %d has %d members, want %d", r, c, p.StubSize)
+		}
+	}
+}
+
+func TestTransitStubLatencySeparation(t *testing.T) {
+	p := DefaultTransitStub()
+	ts := NewTransitStub(p, rand.New(rand.NewSource(3)))
+	transit := p.TransitDomains * p.TransitPerDom
+	// Average intra-stub distance should be far below average cross-stub
+	// distance (the order-of-magnitude gap Section 6.3 exploits).
+	var intra, cross float64
+	var nIntra, nCross int
+	for i := transit; i < ts.Size(); i += 3 {
+		for j := transit; j < ts.Size(); j += 5 {
+			if i == j {
+				continue
+			}
+			if ts.Region[i] == ts.Region[j] {
+				intra += ts.Distance(i, j)
+				nIntra++
+			} else {
+				cross += ts.Distance(i, j)
+				nCross++
+			}
+		}
+	}
+	if nIntra == 0 || nCross == 0 {
+		t.Fatal("sampling missed a class")
+	}
+	intra /= float64(nIntra)
+	cross /= float64(nCross)
+	if cross < 4*intra {
+		t.Errorf("latency separation too small: intra=%g cross=%g", intra, cross)
+	}
+}
+
+func TestExpansionLattices(t *testing.T) {
+	// Ring expansion ~2, torus ~4; both must be well under 16 (= base b used
+	// by the overlay, satisfying b > c^2 ... c^2 <= 16 needs c <= 4).
+	ring := EstimateExpansion(NewRing(512), 16, 4)
+	if ring.Median > 3 {
+		t.Errorf("ring median expansion %g, expected ~2", ring.Median)
+	}
+	torus := EstimateExpansion(NewTorus2D(24), 16, 4)
+	if torus.Median > 5 {
+		t.Errorf("torus median expansion %g, expected ~4", torus.Median)
+	}
+}
+
+func TestExpansionDegenerate(t *testing.T) {
+	got := EstimateExpansion(NewRing(4), 4, 4)
+	if got.Max != 0 || got.Median != 0 {
+		t.Errorf("tiny space should yield empty stats, got %+v", got)
+	}
+}
+
+// Property: ring and torus distances satisfy metric axioms exactly.
+func TestQuickMetricAxioms(t *testing.T) {
+	ring := NewRing(37)
+	tor := NewTorus2D(7)
+	f := func(a, b, c uint16) bool {
+		for _, s := range []Space{ring, tor} {
+			n := s.Size()
+			i, j, k := int(a)%n, int(b)%n, int(c)%n
+			if s.Distance(i, i) != 0 {
+				return false
+			}
+			if s.Distance(i, j) != s.Distance(j, i) {
+				return false
+			}
+			if s.Distance(i, j) > s.Distance(i, k)+s.Distance(k, j) {
+				return false
+			}
+			if i != j && s.Distance(i, j) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountLE(t *testing.T) {
+	sorted := []float64{1, 2, 2, 3, 5}
+	cases := []struct {
+		r    float64
+		want int
+	}{{0.5, 0}, {1, 1}, {2, 3}, {2.5, 3}, {5, 5}, {9, 5}}
+	for _, c := range cases {
+		if got := countLE(sorted, c.r); got != c.want {
+			t.Errorf("countLE(%g) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}

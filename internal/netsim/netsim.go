@@ -1,0 +1,190 @@
+// Package netsim simulates the physical network underneath the overlay.
+//
+// Overlay nodes live at points ("addresses") of a metric space. Every
+// simulated message is charged its metric distance and counted, both on a
+// per-operation Cost tracker and on network-wide counters, so experiments
+// can report hops, latency (metric distance) and message complexity exactly.
+// The network also tracks liveness — messages to departed or failed nodes
+// fail — and carries a virtual clock (epochs) for soft-state expiry.
+//
+// The simulator is deliberately synchronous: algorithms are written in RPC
+// style and every cross-node call passes through Network.Send, which is the
+// single point of cost accounting and failure injection. Concurrency is
+// real (operations may run on many goroutines), so the dynamic-membership
+// machinery is exercised under genuine interleavings.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tapestry/internal/metric"
+)
+
+// Addr is a point index in the underlying metric space.
+type Addr int
+
+// ErrUnreachable is returned when a message targets a dead or never-attached
+// address.
+var ErrUnreachable = errors.New("netsim: destination unreachable")
+
+// Cost accumulates the expense of one logical operation (a lookup, a join,
+// a multicast...). A nil *Cost is valid everywhere and records nothing,
+// which keeps hot paths free of conditionals at call sites.
+type Cost struct {
+	mu       sync.Mutex
+	messages int
+	hops     int
+	distance float64
+}
+
+// Add charges one message of the given distance; hop indicates whether the
+// message advances an application-level routing path (true) or is auxiliary
+// traffic such as an acknowledgment (false).
+func (c *Cost) Add(distance float64, hop bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.messages++
+	if hop {
+		c.hops++
+	}
+	c.distance += distance
+	c.mu.Unlock()
+}
+
+// Merge folds other into c (used when a sub-operation keeps its own ledger).
+func (c *Cost) Merge(other *Cost) {
+	if c == nil || other == nil {
+		return
+	}
+	m, h, d := other.Snapshot()
+	c.mu.Lock()
+	c.messages += m
+	c.hops += h
+	c.distance += d
+	c.mu.Unlock()
+}
+
+// Snapshot returns (messages, hops, distance) atomically.
+func (c *Cost) Snapshot() (messages, hops int, distance float64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.messages, c.hops, c.distance
+}
+
+// Messages returns the message count so far.
+func (c *Cost) Messages() int { m, _, _ := c.Snapshot(); return m }
+
+// Hops returns the routing-hop count so far.
+func (c *Cost) Hops() int { _, h, _ := c.Snapshot(); return h }
+
+// Distance returns the total metric distance traversed so far.
+func (c *Cost) Distance() float64 { _, _, d := c.Snapshot(); return d }
+
+func (c *Cost) String() string {
+	m, h, d := c.Snapshot()
+	return fmt.Sprintf("msgs=%d hops=%d dist=%.3f", m, h, d)
+}
+
+// Network is the simulated substrate shared by all overlay nodes of one
+// experiment.
+type Network struct {
+	space metric.Space
+
+	mu   sync.RWMutex
+	live []bool
+
+	totalMessages atomic.Int64
+	epoch         atomic.Int64
+}
+
+// New creates a network over the given metric space with all addresses
+// initially unattached.
+func New(space metric.Space) *Network {
+	return &Network{space: space, live: make([]bool, space.Size())}
+}
+
+// Space returns the underlying metric space.
+func (n *Network) Space() metric.Space { return n.space }
+
+// Size returns the number of addresses (attached or not).
+func (n *Network) Size() int { return n.space.Size() }
+
+// Distance returns the metric distance between two addresses.
+func (n *Network) Distance(a, b Addr) float64 {
+	return n.space.Distance(int(a), int(b))
+}
+
+// Attach marks an address as hosting a live overlay node.
+func (n *Network) Attach(a Addr) {
+	n.mu.Lock()
+	n.live[a] = true
+	n.mu.Unlock()
+}
+
+// Detach marks an address as no longer hosting a node (voluntary departure
+// or failure — the network does not distinguish; the overlay does).
+func (n *Network) Detach(a Addr) {
+	n.mu.Lock()
+	n.live[a] = false
+	n.mu.Unlock()
+}
+
+// Alive reports whether the address currently hosts a live node.
+func (n *Network) Alive(a Addr) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.live[a]
+}
+
+// LiveCount returns the number of attached addresses.
+func (n *Network) LiveCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	c := 0
+	for _, l := range n.live {
+		if l {
+			c++
+		}
+	}
+	return c
+}
+
+// Send charges one message from a to b. It fails if b is not alive, after
+// still charging the attempt (a timed-out probe consumes real network
+// resources). hop marks application-level routing hops; acknowledgments and
+// control chatter pass hop=false.
+func (n *Network) Send(from, to Addr, cost *Cost, hop bool) error {
+	n.totalMessages.Add(1)
+	cost.Add(n.Distance(from, to), hop)
+	if !n.Alive(to) {
+		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
+	}
+	return nil
+}
+
+// RPC charges a request/response pair (two messages, one routing hop) and
+// fails if the destination is dead.
+func (n *Network) RPC(from, to Addr, cost *Cost) error {
+	if err := n.Send(from, to, cost, true); err != nil {
+		return err
+	}
+	return n.Send(to, from, cost, false)
+}
+
+// TotalMessages returns the network-wide message count since construction.
+func (n *Network) TotalMessages() int64 { return n.totalMessages.Load() }
+
+// Epoch returns the current virtual time.
+func (n *Network) Epoch() int64 { return n.epoch.Load() }
+
+// Tick advances virtual time by one epoch and returns the new value.
+// Soft-state mechanisms (pointer expiry, republish) key off epochs.
+func (n *Network) Tick() int64 { return n.epoch.Add(1) }

@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tapestry/internal/metric"
+)
+
+func newNet() *Network { return New(metric.NewRing(16)) }
+
+func TestAttachDetachAlive(t *testing.T) {
+	n := newNet()
+	if n.Alive(3) {
+		t.Error("fresh address should be dead")
+	}
+	n.Attach(3)
+	if !n.Alive(3) {
+		t.Error("attached address should be alive")
+	}
+	if n.LiveCount() != 1 {
+		t.Errorf("LiveCount = %d", n.LiveCount())
+	}
+	n.Detach(3)
+	if n.Alive(3) || n.LiveCount() != 0 {
+		t.Error("detach failed")
+	}
+}
+
+func TestSendChargesAndFails(t *testing.T) {
+	n := newNet()
+	n.Attach(0)
+	n.Attach(4)
+	var c Cost
+	if err := n.Send(0, 4, &c, true); err != nil {
+		t.Fatalf("send to live node: %v", err)
+	}
+	if c.Messages() != 1 || c.Hops() != 1 || c.Distance() != 4 {
+		t.Errorf("cost after send: %s", &c)
+	}
+	// Dead destination: error, but the attempt is still charged.
+	if err := n.Send(0, 9, &c, false); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("expected ErrUnreachable, got %v", err)
+	}
+	if c.Messages() != 2 || c.Hops() != 1 {
+		t.Errorf("failed send must still be charged: %s", &c)
+	}
+	if n.TotalMessages() != 2 {
+		t.Errorf("TotalMessages = %d", n.TotalMessages())
+	}
+}
+
+func TestRPCCost(t *testing.T) {
+	n := newNet()
+	n.Attach(1)
+	n.Attach(2)
+	var c Cost
+	if err := n.RPC(1, 2, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Messages() != 2 || c.Hops() != 1 || c.Distance() != 2 {
+		t.Errorf("rpc cost: %s", &c)
+	}
+}
+
+func TestNilCostSafe(t *testing.T) {
+	n := newNet()
+	n.Attach(0)
+	n.Attach(1)
+	var nilCost *Cost
+	if err := n.Send(0, 1, nilCost, true); err != nil {
+		t.Fatal(err)
+	}
+	nilCost.Add(3, true) // must not panic
+	if nilCost.Messages() != 0 || nilCost.Distance() != 0 {
+		t.Error("nil cost must read as zero")
+	}
+	var c Cost
+	c.Merge(nilCost)
+	nilCost.Merge(&c)
+}
+
+func TestCostMerge(t *testing.T) {
+	var a, b Cost
+	a.Add(1, true)
+	b.Add(2, false)
+	b.Add(3, true)
+	a.Merge(&b)
+	m, h, d := a.Snapshot()
+	if m != 3 || h != 2 || d != 6 {
+		t.Errorf("merge: msgs=%d hops=%d dist=%g", m, h, d)
+	}
+}
+
+func TestCostConcurrent(t *testing.T) {
+	var c Cost
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(1, j%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Messages() != 1600 || c.Hops() != 800 || c.Distance() != 1600 {
+		t.Errorf("concurrent accounting lost updates: %s", &c)
+	}
+}
+
+func TestEpochs(t *testing.T) {
+	n := newNet()
+	if n.Epoch() != 0 {
+		t.Error("epoch should start at 0")
+	}
+	if n.Tick() != 1 || n.Epoch() != 1 {
+		t.Error("tick")
+	}
+}
+
+func TestDistanceDelegates(t *testing.T) {
+	n := newNet()
+	if n.Distance(0, 8) != 8 || n.Distance(0, 15) != 1 {
+		t.Error("distance does not match ring metric")
+	}
+	if n.Size() != 16 {
+		t.Error("size")
+	}
+	if n.Space().Name() == "" {
+		t.Error("space accessor")
+	}
+}

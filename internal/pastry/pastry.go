@@ -1,0 +1,344 @@
+// Package pastry implements a Pastry-like baseline [27]: prefix routing
+// with proximity neighbor selection (each table slot holds the closest
+// qualifying node), a leaf set of numerically adjacent nodes for the last
+// hop, and objects stored as references at the numerically closest node to
+// their key.
+//
+// The contrast with Tapestry isolates the value of in-network object
+// pointers: Pastry's per-hop choices are proximity-aware, but a query must
+// travel all the way to the key's numeric owner even when a replica sits
+// next door — "while its overlay construction leverages network proximity
+// metrics, it does not provide the same stretch as the PRR scheme in object
+// location" (Section 1.1).
+package pastry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+)
+
+// Node is one Pastry participant.
+type Node struct {
+	mesh *Mesh
+	id   ids.ID
+	addr netsim.Addr
+
+	mu    sync.Mutex
+	table [][]ref // [level][digit] single proximity-chosen entry (zero ref = hole)
+	leaf  []ref   // numerically closest nodes, both directions
+	store map[string][]netsim.Addr
+}
+
+type ref struct {
+	id   ids.ID
+	addr netsim.Addr
+	ok   bool
+}
+
+// Mesh is a Pastry overlay instance.
+type Mesh struct {
+	spec     ids.Spec
+	leafSize int
+	net      *netsim.Network
+
+	mu     sync.RWMutex
+	byAddr map[netsim.Addr]*Node
+	sorted []*Node // by ID, for leaf-set construction
+}
+
+// NewMesh creates an empty Pastry overlay. leafSize is the total leaf-set
+// size (Pastry's |L|, typically 16; scaled down for small simulations).
+func NewMesh(net *netsim.Network, spec ids.Spec, leafSize int) (*Mesh, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if leafSize < 2 {
+		return nil, errors.New("pastry: leaf size must be >= 2")
+	}
+	return &Mesh{spec: spec, leafSize: leafSize, net: net, byAddr: map[netsim.Addr]*Node{}}, nil
+}
+
+// Build constructs the overlay statically from global knowledge with
+// proximity neighbor selection, the standard simulation methodology for
+// Pastry hop/stretch studies.
+func (m *Mesh) Build(parts []Part) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.byAddr) != 0 {
+		return errors.New("pastry: already built")
+	}
+	for _, p := range parts {
+		if _, dup := m.byAddr[p.Addr]; dup {
+			return fmt.Errorf("pastry: duplicate address %d", p.Addr)
+		}
+		n := &Node{
+			mesh: m, id: p.ID, addr: p.Addr,
+			table: newTable(m.spec),
+			store: map[string][]netsim.Addr{},
+		}
+		m.byAddr[p.Addr] = n
+		m.sorted = append(m.sorted, n)
+		m.net.Attach(p.Addr)
+	}
+	sort.Slice(m.sorted, func(i, j int) bool { return m.sorted[i].id.Less(m.sorted[j].id) })
+
+	for _, n := range m.sorted {
+		for _, peer := range m.sorted {
+			if peer == n {
+				continue
+			}
+			cpl := ids.CommonPrefixLen(n.id, peer.id)
+			d := m.net.Distance(n.addr, peer.addr)
+			for l := 0; l <= cpl && l < m.spec.Digits; l++ {
+				dg := peer.id.Digit(l)
+				slot := &n.table[l][dg]
+				if !slot.ok || m.net.Distance(n.addr, slot.addr) > d {
+					*slot = ref{peer.id, peer.addr, true}
+				}
+			}
+		}
+	}
+	// Leaf sets: leafSize/2 numeric neighbors on each side.
+	half := m.leafSize / 2
+	nn := len(m.sorted)
+	for i, n := range m.sorted {
+		for o := 1; o <= half && o < nn; o++ {
+			up := m.sorted[(i+o)%nn]
+			dn := m.sorted[(i-o+nn)%nn]
+			n.leaf = append(n.leaf, ref{up.id, up.addr, true}, ref{dn.id, dn.addr, true})
+		}
+	}
+	return nil
+}
+
+// Part names one participant.
+type Part struct {
+	ID   ids.ID
+	Addr netsim.Addr
+}
+
+func newTable(spec ids.Spec) [][]ref {
+	t := make([][]ref, spec.Digits)
+	for l := range t {
+		t[l] = make([]ref, spec.Base)
+	}
+	return t
+}
+
+// Nodes returns all participants sorted by ID.
+func (m *Mesh) Nodes() []*Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]*Node(nil), m.sorted...)
+}
+
+// absDiffBase computes |a-b| digit-wise in the given radix (both IDs have
+// equal length, so school-book subtraction with borrow suffices; no
+// big-integer dependency).
+func absDiffBase(a, b ids.ID, radix int) []int {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	n := a.Len()
+	out := make([]int, n)
+	borrow := 0
+	for i := n - 1; i >= 0; i-- {
+		d := int(b.Digit(i)) - int(a.Digit(i)) - borrow
+		if d < 0 {
+			d += radix
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func lessVec(a, b []int) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// closerToKey reports whether a is strictly numerically closer to key than
+// b, with ties broken toward the smaller ID — a total preference, so routing
+// from any start converges on the same owner.
+func (m *Mesh) closerToKey(a, b, key ids.ID) bool {
+	da := absDiffBase(a, key, m.spec.Base)
+	db := absDiffBase(b, key, m.spec.Base)
+	if c := lessVec(da, db); c != 0 {
+		return c < 0
+	}
+	return a.Less(b)
+}
+
+// NumericOwner returns the node whose ID is numerically closest to the key,
+// the storage home of the key.
+func (m *Mesh) NumericOwner(key ids.ID) *Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	best := m.sorted[0]
+	i := sort.Search(len(m.sorted), func(i int) bool { return !m.sorted[i].id.Less(key) })
+	for _, cand := range []int{i - 1, i} {
+		if cand >= 0 && cand < len(m.sorted) {
+			if m.closerToKey(m.sorted[cand].id, best.id, key) {
+				best = m.sorted[cand]
+			}
+		}
+	}
+	return best
+}
+
+// Route walks from n toward the key's numeric owner: prefix table first,
+// leaf set for the numeric endgame. Returns the final node and hop count.
+func (n *Node) Route(key ids.ID, cost *netsim.Cost) (*Node, int, error) {
+	cur := n
+	hops := 0
+	maxHops := n.mesh.spec.Digits + n.mesh.leafSize + 4
+	for hops <= maxHops {
+		next := cur.nextHop(key)
+		if next == nil {
+			return cur, hops, nil
+		}
+		if err := n.mesh.net.RPC(cur.addr, next.addr, cost); err != nil {
+			return nil, hops, err
+		}
+		cur = next
+		hops++
+	}
+	return nil, hops, errors.New("pastry: routing did not converge")
+}
+
+// nextHop picks the next node strictly closer to the key in ID space, or
+// nil when cur is the numeric owner among everything it knows.
+func (cur *Node) nextHop(key ids.ID) *Node {
+	cur.mu.Lock()
+	defer cur.mu.Unlock()
+	m := cur.mesh
+	myCPL := ids.CommonPrefixLen(cur.id, key)
+	// Candidates: the prefix-table jump (one more matching digit — the
+	// locality-aware long hop) and the leaf set (numeric endgame). The hop
+	// must be strictly numerically closer to the key than the current node,
+	// which both terminates the walk and makes the owner unique regardless
+	// of the starting point.
+	best := cur
+	if myCPL < m.spec.Digits {
+		if slot := cur.table[myCPL][key.Digit(myCPL)]; slot.ok && m.closerToKey(slot.id, best.id, key) {
+			if peer := m.nodeAt(slot.addr); peer != nil {
+				best = peer
+			}
+		}
+	}
+	for _, lf := range cur.leaf {
+		if m.closerToKey(lf.id, best.id, key) {
+			if peer := m.nodeAt(lf.addr); peer != nil {
+				best = peer
+			}
+		}
+	}
+	if best != cur {
+		return best
+	}
+	return nil
+}
+
+func (m *Mesh) nodeAt(a netsim.Addr) *Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.byAddr[a]
+}
+
+// Publish stores a replica reference at the key's numeric owner.
+func (n *Node) Publish(key ids.ID, cost *netsim.Cost) error {
+	owner, _, err := n.Route(key, cost)
+	if err != nil {
+		return err
+	}
+	owner.mu.Lock()
+	owner.store[key.String()] = append(owner.store[key.String()], n.addr)
+	owner.mu.Unlock()
+	return nil
+}
+
+// LocateResult mirrors the Tapestry result shape.
+type LocateResult struct {
+	Found  bool
+	Server netsim.Addr
+	Hops   int
+}
+
+// Locate routes to the numeric owner, then to the replica closest to the
+// owner.
+func (n *Node) Locate(key ids.ID, cost *netsim.Cost) LocateResult {
+	owner, hops, err := n.Route(key, cost)
+	if err != nil {
+		return LocateResult{}
+	}
+	owner.mu.Lock()
+	reps := append([]netsim.Addr(nil), owner.store[key.String()]...)
+	owner.mu.Unlock()
+	if len(reps) == 0 {
+		return LocateResult{}
+	}
+	best := reps[0]
+	for _, rp := range reps[1:] {
+		if n.mesh.net.Distance(owner.addr, rp) < n.mesh.net.Distance(owner.addr, best) {
+			best = rp
+		}
+	}
+	if err := n.mesh.net.Send(owner.addr, best, cost, true); err != nil {
+		return LocateResult{}
+	}
+	return LocateResult{Found: true, Server: best, Hops: hops + 1}
+}
+
+// TableSize counts filled routing entries plus leaf-set entries.
+func (n *Node) TableSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := len(n.leaf)
+	for l := range n.table {
+		for d := range n.table[l] {
+			if n.table[l][d].ok {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Addr returns the node's network address.
+func (n *Node) Addr() netsim.Addr { return n.addr }
+
+// RandomParts draws distinct random IDs over the addresses.
+func RandomParts(spec ids.Spec, addrs []netsim.Addr, rng *rand.Rand) []Part {
+	seen := map[string]bool{}
+	parts := make([]Part, 0, len(addrs))
+	for _, a := range addrs {
+		for {
+			id := spec.Random(rng)
+			if !seen[id.String()] {
+				seen[id.String()] = true
+				parts = append(parts, Part{id, a})
+				break
+			}
+		}
+	}
+	return parts
+}

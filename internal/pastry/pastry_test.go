@@ -1,0 +1,166 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+)
+
+var spec = ids.Spec{Base: 16, Digits: 6}
+
+func buildMesh(t testing.TB, n int, seed int64) (*Mesh, []*Node) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(n * 4)
+	net := netsim.New(space)
+	m, err := NewMesh(net, spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	if err := m.Build(RandomParts(spec, addrs, rng)); err != nil {
+		t.Fatal(err)
+	}
+	return m, m.Nodes()
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	net := netsim.New(metric.NewRing(8))
+	if _, err := NewMesh(net, ids.Spec{Base: 1, Digits: 3}, 8); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err := NewMesh(net, spec, 1); err == nil {
+		t.Error("tiny leaf set accepted")
+	}
+}
+
+func TestBuildRejectsDuplicates(t *testing.T) {
+	net := netsim.New(metric.NewRing(8))
+	m, _ := NewMesh(net, spec, 4)
+	parts := []Part{{spec.Hash("a"), 0}, {spec.Hash("b"), 0}}
+	if err := m.Build(parts); err == nil {
+		t.Error("duplicate address accepted")
+	}
+}
+
+func TestAbsDiffBase(t *testing.T) {
+	a, _ := spec.Parse("000100")
+	b, _ := spec.Parse("0000FF")
+	d := absDiffBase(a, b, 16)
+	want := []int{0, 0, 0, 0, 0, 1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("absDiff = %v, want %v", d, want)
+		}
+	}
+	// Symmetric.
+	d2 := absDiffBase(b, a, 16)
+	for i := range want {
+		if d2[i] != want[i] {
+			t.Fatalf("absDiff not symmetric: %v", d2)
+		}
+	}
+}
+
+func TestRouteConvergesToUniqueOwner(t *testing.T) {
+	m, nodes := buildMesh(t, 48, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		key := spec.Random(rng)
+		want := m.NumericOwner(key)
+		for _, start := range []*Node{nodes[0], nodes[17], nodes[47]} {
+			got, hops, err := start.Route(key, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("key %v: owner %v from %v, want %v", key, got.id, start.id, want.id)
+			}
+			if hops > spec.Digits+8 {
+				t.Errorf("route took %d hops", hops)
+			}
+		}
+	}
+}
+
+func TestPublishLocate(t *testing.T) {
+	_, nodes := buildMesh(t, 32, 3)
+	key := spec.Hash("pastry-object")
+	if err := nodes[5].Publish(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nodes {
+		res := c.Locate(key, nil)
+		if !res.Found {
+			t.Fatalf("locate failed from %v", c.id)
+		}
+		if res.Server != nodes[5].Addr() {
+			t.Fatalf("wrong server")
+		}
+	}
+	if res := nodes[0].Locate(spec.Hash("ghost"), nil); res.Found {
+		t.Error("found unpublished object")
+	}
+}
+
+func TestNoLocalityForNearbyReplica(t *testing.T) {
+	// The structural contrast with Tapestry: a replica adjacent to the
+	// client still forces a round trip to the numeric owner. Distance
+	// traveled is (usually) much larger than the client-replica distance.
+	m, nodes := buildMesh(t, 64, 4)
+	net := m.net
+	// Find a (client, server) pair that are metric neighbors.
+	var client, server *Node
+	bestD := 1e18
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				if d := net.Distance(a.Addr(), b.Addr()); d < bestD {
+					bestD = d
+					client, server = a, b
+				}
+			}
+		}
+	}
+	key := spec.Hash("nearby")
+	if err := server.Publish(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	var cost netsim.Cost
+	res := client.Locate(key, &cost)
+	if !res.Found {
+		t.Fatal("locate failed")
+	}
+	owner := m.NumericOwner(key)
+	if owner == client || owner == server {
+		t.Skip("owner happens to be an endpoint; locality accidental")
+	}
+	if cost.Distance() < bestD {
+		t.Errorf("query traveled %g < direct distance %g — impossible", cost.Distance(), bestD)
+	}
+}
+
+func TestTableSizeLogarithmic(t *testing.T) {
+	_, nodes := buildMesh(t, 64, 5)
+	for _, n := range nodes {
+		s := n.TableSize()
+		// log16(64) ≈ 1.5 populated levels ⇒ tens of entries, plus 8 leaves.
+		if s < 8 || s > 200 {
+			t.Fatalf("table size %d out of plausible range", s)
+		}
+	}
+}
+
+func TestBuildTwiceFails(t *testing.T) {
+	m, _ := buildMesh(t, 8, 6)
+	if err := m.Build(nil); err == nil {
+		t.Error("second build accepted")
+	}
+}

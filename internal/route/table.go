@@ -1,0 +1,424 @@
+// Package route implements the Tapestry neighbor table: for every prefix β
+// of the owning node's ID and every digit j, the set N_{β,j} of up to R
+// closest nodes whose IDs share the prefix β·j (Section 2.1). The first
+// (closest) member of each set is the primary neighbor; the rest are
+// secondary neighbors kept for fault-resilience. The table also stores
+// backpointers (who points at me, per level) and the pinned-pointer state
+// used by the simultaneous-insertion protocol of Section 4.4.
+//
+// A Table is not internally synchronized: the owning node serializes access
+// under its own lock, which is how per-node state is guarded everywhere in
+// this codebase.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+)
+
+// Entry describes one neighbor link.
+type Entry struct {
+	ID       ids.ID
+	Addr     netsim.Addr
+	Distance float64 // metric distance from the table owner
+	Pinned   bool    // pinned pointer: a mid-insertion node that must be retained and multicast to (Section 4.4)
+	Leaving  bool    // the neighbor announced a voluntary departure (Section 5.1)
+}
+
+// Table is one node's complete routing state.
+type Table struct {
+	spec  ids.Spec
+	owner ids.ID
+	addr  netsim.Addr
+	r     int
+
+	// sets[level][digit] is N_{β,j} with β = owner.Prefix(level), j = digit,
+	// sorted by (distance, id). All pinned entries are retained regardless
+	// of R; at most r unpinned entries are kept.
+	sets [][][]Entry
+
+	// back[level] holds backpointers: nodes that have the owner in their
+	// level-`level` neighbor sets, keyed by ID string for determinism.
+	back []map[string]Entry
+}
+
+// New creates an empty table for a node with the given ID and address. r is
+// the neighbor-set capacity R >= 1 from Section 2.1 (the paper's deployed
+// configuration uses a primary plus two backups, r = 3). The owner itself is
+// inserted into every set it qualifies for, so routing can always "stay
+// put"; this realizes surrogate routing's termination rule.
+func New(spec ids.Spec, owner ids.ID, addr netsim.Addr, r int) *Table {
+	if r < 1 {
+		panic("route: neighbor-set capacity R must be >= 1")
+	}
+	t := &Table{
+		spec:  spec,
+		owner: owner,
+		addr:  addr,
+		r:     r,
+		sets:  make([][][]Entry, spec.Digits),
+		back:  make([]map[string]Entry, spec.Digits),
+	}
+	for l := 0; l < spec.Digits; l++ {
+		t.sets[l] = make([][]Entry, spec.Base)
+		t.back[l] = make(map[string]Entry)
+	}
+	self := Entry{ID: owner, Addr: addr, Distance: 0}
+	for l := 0; l < spec.Digits; l++ {
+		t.sets[l][owner.Digit(l)] = []Entry{self}
+	}
+	return t
+}
+
+// Owner returns the table owner's ID.
+func (t *Table) Owner() ids.ID { return t.owner }
+
+// Addr returns the table owner's network address.
+func (t *Table) Addr() netsim.Addr { return t.addr }
+
+// R returns the neighbor-set capacity.
+func (t *Table) R() int { return t.r }
+
+// Levels returns the number of routing-table levels (= digits per ID).
+func (t *Table) Levels() int { return t.spec.Digits }
+
+// Base returns the digit radix.
+func (t *Table) Base() int { return t.spec.Base }
+
+// qualifies reports whether id may appear at the given level: it must share
+// the owner's first `level` digits (so that it is a (β, j) node for β the
+// owner's level-length prefix).
+func (t *Table) qualifies(level int, id ids.ID) bool {
+	return level < t.spec.Digits && ids.CommonPrefixLen(t.owner, id) >= level
+}
+
+// Add inserts a neighbor at the given level, keeping the set sorted by
+// distance and bounded by R (pinned entries never count against nor get
+// evicted by the bound). It returns whether the entry is now present and
+// any unpinned entries evicted to make room (the caller must retract its
+// backpointers at those nodes). Re-adding an existing ID updates it in
+// place.
+func (t *Table) Add(level int, e Entry) (added bool, evicted []Entry) {
+	if !t.qualifies(level, e.ID) {
+		return false, nil
+	}
+	digit := e.ID.Digit(level)
+	set := t.sets[level][digit]
+
+	// Update in place if already present.
+	for i := range set {
+		if set[i].ID.Equal(e.ID) {
+			pinned := set[i].Pinned || e.Pinned
+			set[i] = e
+			set[i].Pinned = pinned
+			sortEntries(set)
+			t.sets[level][digit] = set
+			return true, nil
+		}
+	}
+
+	set = append(set, e)
+	sortEntries(set)
+
+	// Enforce capacity over unpinned entries only.
+	unpinned := 0
+	for _, x := range set {
+		if !x.Pinned {
+			unpinned++
+		}
+	}
+	if unpinned > t.r && !e.Pinned {
+		// If e itself is the farthest unpinned entry it simply does not fit.
+		last := lastUnpinned(set)
+		if set[last].ID.Equal(e.ID) {
+			t.sets[level][digit] = removeAt(set, last)
+			return false, nil
+		}
+	}
+	for unpinned > t.r {
+		last := lastUnpinned(set)
+		evicted = append(evicted, set[last])
+		set = removeAt(set, last)
+		unpinned--
+	}
+	t.sets[level][digit] = set
+	return true, evicted
+}
+
+func sortEntries(set []Entry) {
+	sort.Slice(set, func(i, j int) bool {
+		if set[i].Distance != set[j].Distance {
+			return set[i].Distance < set[j].Distance
+		}
+		return set[i].ID.Less(set[j].ID)
+	})
+}
+
+func lastUnpinned(set []Entry) int {
+	for i := len(set) - 1; i >= 0; i-- {
+		if !set[i].Pinned {
+			return i
+		}
+	}
+	return -1
+}
+
+func removeAt(set []Entry, i int) []Entry {
+	return append(set[:i:i], set[i+1:]...)
+}
+
+// Remove deletes the identified neighbor from every set and backpointer map
+// it appears in, returning the levels at which a forward link was removed.
+func (t *Table) Remove(id ids.ID) (levels []int) {
+	for l := 0; l < t.spec.Digits; l++ {
+		digit := 0
+		found := false
+		for d := range t.sets[l] {
+			for i := range t.sets[l][d] {
+				if t.sets[l][d][i].ID.Equal(id) {
+					t.sets[l][d] = removeAt(t.sets[l][d], i)
+					digit, found = d, true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			levels = append(levels, l)
+			_ = digit
+		}
+		delete(t.back[l], keyOf(id))
+	}
+	return levels
+}
+
+// Set returns a copy of N_{β,j} at (level, digit), primary first.
+func (t *Table) Set(level int, digit ids.Digit) []Entry {
+	src := t.sets[level][digit]
+	out := make([]Entry, len(src))
+	copy(out, src)
+	return out
+}
+
+// Primary returns the closest non-leaving neighbor at (level, digit). If all
+// entries are marked leaving it falls back to the closest entry, so routing
+// keeps working during a graceful departure window ("incoming queries still
+// route normally to A while it is marked leaving").
+func (t *Table) Primary(level int, digit ids.Digit) (Entry, bool) {
+	set := t.sets[level][digit]
+	for _, e := range set {
+		if !e.Leaving {
+			return e, true
+		}
+	}
+	if len(set) > 0 {
+		return set[0], true
+	}
+	return Entry{}, false
+}
+
+// HasHole reports whether N_{β,j} is empty — a "hole" in the paper's
+// vocabulary (Property 1 demands a hole only exists when no (β, j) node
+// exists anywhere).
+func (t *Table) HasHole(level int, digit ids.Digit) bool {
+	return len(t.sets[level][digit]) == 0
+}
+
+// Contains reports whether id is a forward neighbor at the given level.
+func (t *Table) Contains(level int, id ids.ID) bool {
+	digit := id.Digit(level)
+	for _, e := range t.sets[level][digit] {
+		if e.ID.Equal(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// WouldImprove reports whether adding (id, distance) at level would either
+// fill a hole or displace a strictly farther unpinned member of a full set;
+// i.e. whether the candidate belongs in the table under Property 2.
+func (t *Table) WouldImprove(level int, id ids.ID, distance float64) bool {
+	if !t.qualifies(level, id) || t.Contains(level, id) {
+		return false
+	}
+	set := t.sets[level][id.Digit(level)]
+	if len(set) == 0 {
+		return true
+	}
+	unpinned := 0
+	for _, e := range set {
+		if !e.Pinned {
+			unpinned++
+		}
+	}
+	if unpinned < t.r {
+		return true
+	}
+	last := set[lastUnpinned(set)]
+	return distance < last.Distance
+}
+
+// MarkLeaving flags id wherever it appears (Section 5.1 first-phase delete
+// notification). It reports whether any link was found.
+func (t *Table) MarkLeaving(id ids.ID) bool {
+	found := false
+	for l := 0; l < t.spec.Digits; l++ {
+		for d := range t.sets[l] {
+			for i := range t.sets[l][d] {
+				if t.sets[l][d][i].ID.Equal(id) {
+					t.sets[l][d][i].Leaving = true
+					found = true
+				}
+			}
+			sortEntries(t.sets[l][d])
+		}
+	}
+	return found
+}
+
+// Pin marks the identified entry at level as a pinned pointer; Unpin clears
+// the mark and re-applies the capacity bound (evicting overflow, returned to
+// the caller for backpointer cleanup).
+func (t *Table) Pin(level int, id ids.ID) bool {
+	digit := id.Digit(level)
+	for i := range t.sets[level][digit] {
+		if t.sets[level][digit][i].ID.Equal(id) {
+			t.sets[level][digit][i].Pinned = true
+			return true
+		}
+	}
+	return false
+}
+
+// Unpin clears a pinned pointer and enforces R, returning evicted entries.
+func (t *Table) Unpin(level int, id ids.ID) (evicted []Entry) {
+	digit := id.Digit(level)
+	set := t.sets[level][digit]
+	for i := range set {
+		if set[i].ID.Equal(id) {
+			set[i].Pinned = false
+		}
+	}
+	unpinned := 0
+	for _, x := range set {
+		if !x.Pinned {
+			unpinned++
+		}
+	}
+	for unpinned > t.r {
+		last := lastUnpinned(set)
+		evicted = append(evicted, set[last])
+		set = removeAt(set, last)
+		unpinned--
+	}
+	t.sets[level][digit] = set
+	return evicted
+}
+
+// PinnedAt returns the pinned entries of N_{β,j}.
+func (t *Table) PinnedAt(level int, digit ids.Digit) []Entry {
+	var out []Entry
+	for _, e := range t.sets[level][digit] {
+		if e.Pinned {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OnlyNodeWithPrefix reports whether, as far as this table knows, the owner
+// is the only node whose ID starts with p (which must be a prefix of the
+// owner). Because every entry at level l >= p.Len() shares the owner's
+// first l digits, scanning those rows for any non-self entry is a complete
+// local test whenever R >= 2 (the owner occupies at most one slot per set).
+func (t *Table) OnlyNodeWithPrefix(p ids.Prefix) bool {
+	if !t.owner.HasPrefix(p) {
+		panic(fmt.Sprintf("route: prefix %v is not a prefix of owner %v", p, t.owner))
+	}
+	for l := p.Len(); l < t.spec.Digits; l++ {
+		for d := range t.sets[l] {
+			for _, e := range t.sets[l][d] {
+				if !e.ID.Equal(t.owner) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ForEachNeighbor invokes fn once per distinct (level, entry) forward link,
+// excluding the owner's self entries.
+func (t *Table) ForEachNeighbor(fn func(level int, e Entry)) {
+	for l := 0; l < t.spec.Digits; l++ {
+		for d := range t.sets[l] {
+			for _, e := range t.sets[l][d] {
+				if !e.ID.Equal(t.owner) {
+					fn(l, e)
+				}
+			}
+		}
+	}
+}
+
+// NeighborCount returns the number of forward links excluding self entries
+// (the "space" measurement of Table 1).
+func (t *Table) NeighborCount() int {
+	n := 0
+	t.ForEachNeighbor(func(int, Entry) { n++ })
+	return n
+}
+
+// DistinctNeighbors returns each distinct neighbor (excluding self) once,
+// at its smallest level of appearance.
+func (t *Table) DistinctNeighbors() []Entry {
+	seen := map[string]Entry{}
+	t.ForEachNeighbor(func(_ int, e Entry) {
+		if _, ok := seen[keyOf(e.ID)]; !ok {
+			seen[keyOf(e.ID)] = e
+		}
+	})
+	out := make([]Entry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out
+}
+
+func keyOf(id ids.ID) string { return id.String() }
+
+// AddBack records that `e` holds the owner in its level-`level` neighbor
+// sets.
+func (t *Table) AddBack(level int, e Entry) { t.back[level][keyOf(e.ID)] = e }
+
+// RemoveBack removes a backpointer.
+func (t *Table) RemoveBack(level int, id ids.ID) { delete(t.back[level], keyOf(id)) }
+
+// Backs returns the backpointers at a level, sorted by distance for
+// determinism.
+func (t *Table) Backs(level int) []Entry {
+	out := make([]Entry, 0, len(t.back[level]))
+	for _, e := range t.back[level] {
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out
+}
+
+// AllBacks returns every (level, backpointer) pair.
+func (t *Table) AllBacks() map[int][]Entry {
+	out := make(map[int][]Entry, len(t.back))
+	for l := range t.back {
+		if len(t.back[l]) > 0 {
+			out[l] = t.Backs(l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+// Package stats provides the small, deterministic statistical accumulators
+// used by the experiment harness: summaries with exact percentiles, and
+// load-balance ratios. Nothing here is approximate or randomized, so bench
+// output is reproducible bit-for-bit from a seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates float64 observations and reports order statistics.
+// The zero value is ready to use.
+type Summary struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddInt records one integer observation.
+func (s *Summary) AddInt(x int) { s.Add(float64(x)) }
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Stddev returns the population standard deviation, or 0 for fewer than two
+// observations.
+func (s *Summary) Stddev() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.xs)))
+}
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
+// method, or 0 for an empty summary.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s.ensureSorted()
+	idx := int(math.Ceil(q*float64(len(s.xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.xs[idx]
+}
+
+// Median returns the 0.5 quantile.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// String renders a one-line digest.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+		s.N(), s.Mean(), s.Quantile(0.5), s.Quantile(0.9), s.Quantile(0.99), s.Max())
+}
+
+// LoadBalance quantifies skew across bins: the ratio of the maximum bin to
+// the mean bin. A perfectly balanced assignment yields 1.0.
+func LoadBalance(bins []int) float64 {
+	if len(bins) == 0 {
+		return 0
+	}
+	sum, max := 0, 0
+	for _, b := range bins {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(bins))
+	return float64(max) / mean
+}
+
+// Ratio is a success/total counter.
+type Ratio struct {
+	Success, Total int
+}
+
+// Observe records one trial.
+func (r *Ratio) Observe(ok bool) {
+	r.Total++
+	if ok {
+		r.Success++
+	}
+}
+
+// Value returns the success fraction, or 1 when no trials were recorded
+// (vacuous success keeps availability reports conservative to read).
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Success) / float64(r.Total)
+}
+
+func (r *Ratio) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", r.Success, r.Total, 100*r.Value())
+}

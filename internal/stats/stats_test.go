@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty summary should read as zeros")
+	}
+	for _, x := range []float64{5, 1, 3, 2, 4} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Errorf("n=%d mean=%g", s.N(), s.Mean())
+	}
+	if s.Median() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("order stats: med=%g min=%g max=%g", s.Median(), s.Min(), s.Max())
+	}
+	if got := s.Quantile(0.999); got != 5 {
+		t.Errorf("p99.9 = %g", got)
+	}
+	if got := s.Quantile(-1); got != 1 {
+		t.Errorf("clamped low quantile = %g", got)
+	}
+	if got := s.Quantile(2); got != 5 {
+		t.Errorf("clamped high quantile = %g", got)
+	}
+}
+
+func TestSummaryAddAfterQuery(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	_ = s.Median() // forces sort
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Error("Add after a query must invalidate the sort cache")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Summary
+	s.Add(4)
+	if s.Stddev() != 0 {
+		t.Error("single observation stddev must be 0")
+	}
+	s.Add(8)
+	if got := s.Stddev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("stddev = %g, want 2", got)
+	}
+	s.AddInt(6)
+	if s.N() != 3 {
+		t.Error("AddInt")
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	if LoadBalance(nil) != 0 {
+		t.Error("empty bins")
+	}
+	if LoadBalance([]int{0, 0}) != 1 {
+		t.Error("all-zero bins are trivially balanced")
+	}
+	if got := LoadBalance([]int{2, 2, 2}); got != 1 {
+		t.Errorf("uniform bins = %g", got)
+	}
+	if got := LoadBalance([]int{6, 0, 0}); got != 3 {
+		t.Errorf("all-in-one = %g, want 3", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 1 {
+		t.Error("empty ratio must read 1 (vacuous success)")
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	if r.Value() < 0.66 || r.Value() > 0.67 {
+		t.Errorf("ratio = %g", r.Value())
+	}
+	if r.String() == "" {
+		t.Error("string")
+	}
+}
+
+// Property: quantiles are monotone and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		var s Summary
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		qa, qb = math.Abs(math.Mod(qa, 1)), math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := s.Quantile(qa), s.Quantile(qb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean is within [min, max].
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Summary
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6 && m <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package workload generates the object placements, query mixes and churn
+// schedules used by the experiment harness: uniform and Zipf-popular object
+// access, random replica placement, and Poisson-ish join/leave interleavings.
+// Everything is driven by an explicit RNG so experiments replay exactly.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Placement assigns objects to server indices.
+type Placement struct {
+	// Servers[i] lists the replica holders of object i.
+	Servers [][]int
+	// Names[i] is a stable human-readable object name (hashable to a GUID).
+	Names []string
+}
+
+// UniformPlacement places `objects` objects, each with `replicas` copies on
+// distinct servers drawn uniformly from n nodes.
+func UniformPlacement(objects, replicas, n int, rng *rand.Rand) Placement {
+	if replicas > n {
+		panic("workload: more replicas than nodes")
+	}
+	p := Placement{Servers: make([][]int, objects), Names: make([]string, objects)}
+	for i := 0; i < objects; i++ {
+		p.Names[i] = fmt.Sprintf("object-%06d", i)
+		seen := map[int]bool{}
+		for len(p.Servers[i]) < replicas {
+			s := rng.Intn(n)
+			if !seen[s] {
+				seen[s] = true
+				p.Servers[i] = append(p.Servers[i], s)
+			}
+		}
+	}
+	return p
+}
+
+// QueryMix yields (client, object) pairs.
+type QueryMix struct {
+	Clients []int
+	Objects []int
+}
+
+// UniformQueries draws q independent (client, object) pairs uniformly.
+func UniformQueries(q, nClients, nObjects int, rng *rand.Rand) QueryMix {
+	m := QueryMix{Clients: make([]int, q), Objects: make([]int, q)}
+	for i := 0; i < q; i++ {
+		m.Clients[i] = rng.Intn(nClients)
+		m.Objects[i] = rng.Intn(nObjects)
+	}
+	return m
+}
+
+// ZipfQueries draws q (client, object) pairs with Zipf-distributed object
+// popularity (exponent s > 1), the standard skew for content workloads.
+func ZipfQueries(q, nClients, nObjects int, s float64, rng *rand.Rand) QueryMix {
+	if s <= 1 {
+		panic("workload: zipf exponent must exceed 1")
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(nObjects-1))
+	m := QueryMix{Clients: make([]int, q), Objects: make([]int, q)}
+	for i := 0; i < q; i++ {
+		m.Clients[i] = rng.Intn(nClients)
+		m.Objects[i] = int(z.Uint64())
+	}
+	return m
+}
+
+// ChurnOp is one membership event.
+type ChurnOp struct {
+	Join bool
+	// Victim selects which current member leaves (index into the live set,
+	// modulo its size at execution time); meaningful when Join is false.
+	Victim int
+}
+
+// ChurnSchedule interleaves joins and leaves: `joins` joins and `leaves`
+// leaves in random order (never letting planned leaves outnumber prior
+// joins, so the population cannot go negative).
+func ChurnSchedule(joins, leaves int, rng *rand.Rand) []ChurnOp {
+	if leaves > joins {
+		panic("workload: more leaves than joins")
+	}
+	ops := make([]ChurnOp, 0, joins+leaves)
+	j, l := 0, 0
+	for j < joins || l < leaves {
+		// Bias toward joins while we must keep the invariant l < j.
+		if j < joins && (l >= leaves || rng.Intn(2) == 0 || l >= j) {
+			ops = append(ops, ChurnOp{Join: true})
+			j++
+		} else {
+			ops = append(ops, ChurnOp{Join: false, Victim: rng.Intn(1 << 30)})
+			l++
+		}
+	}
+	return ops
+}

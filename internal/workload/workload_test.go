@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := UniformPlacement(10, 3, 20, rng)
+	if len(p.Servers) != 10 || len(p.Names) != 10 {
+		t.Fatal("shape")
+	}
+	for i, servers := range p.Servers {
+		if len(servers) != 3 {
+			t.Fatalf("object %d has %d replicas", i, len(servers))
+		}
+		seen := map[int]bool{}
+		for _, s := range servers {
+			if s < 0 || s >= 20 || seen[s] {
+				t.Fatalf("bad/duplicate server %d", s)
+			}
+			seen[s] = true
+		}
+	}
+	if p.Names[0] == p.Names[1] {
+		t.Error("names must be distinct")
+	}
+}
+
+func TestUniformPlacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	UniformPlacement(1, 5, 3, rand.New(rand.NewSource(1)))
+}
+
+func TestUniformQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := UniformQueries(100, 8, 5, rng)
+	for i := range m.Clients {
+		if m.Clients[i] < 0 || m.Clients[i] >= 8 || m.Objects[i] < 0 || m.Objects[i] >= 5 {
+			t.Fatal("out of range")
+		}
+	}
+}
+
+func TestZipfQueriesSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := ZipfQueries(4000, 4, 50, 1.5, rng)
+	counts := map[int]int{}
+	for _, o := range m.Objects {
+		if o < 0 || o >= 50 {
+			t.Fatal("object out of range")
+		}
+		counts[o]++
+	}
+	if counts[0] < 4000/10 {
+		t.Errorf("zipf head got %d of 4000; expected heavy skew", counts[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for s<=1")
+		}
+	}()
+	ZipfQueries(1, 1, 2, 1.0, rng)
+}
+
+func TestChurnScheduleInvariant(t *testing.T) {
+	f := func(seed int64, jRaw, lRaw uint8) bool {
+		joins := int(jRaw)%20 + 1
+		leaves := int(lRaw) % (joins + 1)
+		ops := ChurnSchedule(joins, leaves, rand.New(rand.NewSource(seed)))
+		if len(ops) != joins+leaves {
+			return false
+		}
+		j, l := 0, 0
+		for _, op := range ops {
+			if op.Join {
+				j++
+			} else {
+				l++
+			}
+			if l > j {
+				return false // would empty the network
+			}
+		}
+		return j == joins && l == leaves
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when leaves > joins")
+		}
+	}()
+	ChurnSchedule(1, 2, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,372 @@
+// Package tapestry is a Go implementation of Tapestry — the
+// location-independent routing infrastructure of Hildrum, Kubiatowicz, Rao
+// and Zhao, "Distributed Object Location in a Dynamic Network" (SPAA 2002) —
+// together with the substrates and baselines needed to reproduce the paper's
+// evaluation.
+//
+// The facade wraps the core overlay (internal/core) behind a small API:
+// create a Network over a metric space, Join nodes, Publish and Locate
+// objects by name, and churn membership with Leave/Fail. Every operation
+// returns exact cost accounting (messages, application-level hops, metric
+// distance traveled) from the underlying network simulator.
+//
+//	space := tapestry.RingSpace(4096)
+//	net, _ := tapestry.New(space, tapestry.Defaults())
+//	nodes, _ := net.Grow(1024)
+//	nodes[0].Publish("my-object")
+//	res, cost := nodes[42].Locate("my-object")
+package tapestry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"tapestry/internal/core"
+	"tapestry/internal/ids"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+)
+
+// Space is a finite metric space; overlay nodes live at its points and every
+// message is charged the metric distance between its endpoints.
+type Space = metric.Space
+
+// RingSpace returns a 1-D cycle metric on n points (expansion constant 2).
+func RingSpace(n int) Space { return metric.NewRing(n) }
+
+// TorusSpace returns an s×s wraparound-L1 lattice (expansion ≲ 4).
+func TorusSpace(side int) Space { return metric.NewTorus2D(side) }
+
+// CloudSpace returns n uniform random points on the unit 2-torus.
+func CloudSpace(n int, seed int64) Space {
+	return metric.NewUniformCloud(n, rand.New(rand.NewSource(seed)))
+}
+
+// RandomGraphSpace returns the shortest-path metric of a connected random
+// graph — generally NOT growth-restricted (see the Section 7 scheme).
+func RandomGraphSpace(n, degree int, seed int64) Space {
+	return metric.NewRandomGraph(n, degree, 10, rand.New(rand.NewSource(seed)))
+}
+
+// TransitStubSpace returns the Zegura-style Internet model of Section 6.2,
+// with stub-region labels that enable the locality optimization.
+func TransitStubSpace(seed int64) Space {
+	return metric.NewTransitStub(metric.DefaultTransitStub(), rand.New(rand.NewSource(seed)))
+}
+
+// Cost is the expense ledger of one operation: messages, application-level
+// hops, and total metric distance.
+type Cost struct {
+	Messages int
+	Hops     int
+	Distance float64
+}
+
+func costOf(c *netsim.Cost) Cost {
+	m, h, d := c.Snapshot()
+	return Cost{Messages: m, Hops: h, Distance: d}
+}
+
+// Config shapes a Tapestry network. The zero value is not valid; start from
+// Defaults().
+type Config struct {
+	// Base and Digits shape the identifier space (radix and length).
+	Base, Digits int
+	// R is the neighbor-set capacity (primary + backups); >= 2.
+	R int
+	// K is the nearest-neighbor list width; 0 = auto (O(log n)).
+	K int
+	// RootSetSize is the number of salted roots per object (fault tolerance).
+	RootSetSize int
+	// PRRRouting selects the distributed PRR-like surrogate variant instead
+	// of Tapestry-native next-filled-digit routing.
+	PRRRouting bool
+	// PointerTTL is the soft-state object-pointer lifetime in maintenance
+	// epochs.
+	PointerTTL int
+	// Seed drives all randomized choices (IDs, root selection).
+	Seed int64
+}
+
+// Defaults returns the deployed-Tapestry configuration: hexadecimal digits,
+// R=3 (primary + two backups), single root, TTL 3 epochs.
+func Defaults() Config {
+	return Config{Base: 16, Digits: 8, R: 3, RootSetSize: 1, PointerTTL: 3, Seed: 1}
+}
+
+func (c Config) toCore() core.Config {
+	cc := core.DefaultConfig()
+	cc.Spec = ids.Spec{Base: c.Base, Digits: c.Digits}
+	cc.R = c.R
+	cc.K = c.K
+	cc.RootSetSize = c.RootSetSize
+	if c.PRRRouting {
+		cc.Surrogate = core.SchemePRRLike
+	}
+	cc.PointerTTL = int64(c.PointerTTL)
+	cc.Seed = c.Seed
+	return cc
+}
+
+// Network is one Tapestry overlay over a simulated metric space.
+type Network struct {
+	mesh *core.Mesh
+	sim  *netsim.Network
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New creates an empty overlay over the space.
+func New(space Space, cfg Config) (*Network, error) {
+	sim := netsim.New(space)
+	mesh, err := core.NewMesh(sim, cfg.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Network{mesh: mesh, sim: sim, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))}, nil
+}
+
+// Node is one overlay participant.
+type Node struct {
+	nw    *Network
+	inner *core.Node
+}
+
+// ID returns the node's identifier rendered as a digit string.
+func (n *Node) ID() string { return n.inner.ID().String() }
+
+// Addr returns the node's location (point index in the metric space).
+func (n *Node) Addr() int { return int(n.inner.Addr()) }
+
+// Size returns the current number of overlay members.
+func (nw *Network) Size() int { return nw.mesh.Size() }
+
+// Nodes returns all current members.
+func (nw *Network) Nodes() []*Node {
+	inner := nw.mesh.Nodes()
+	out := make([]*Node, len(inner))
+	for i, n := range inner {
+		out[i] = &Node{nw: nw, inner: n}
+	}
+	return out
+}
+
+// TotalMessages returns the network-wide message count since creation.
+func (nw *Network) TotalMessages() int64 { return nw.sim.TotalMessages() }
+
+// RegionOf returns the locality region (stub domain) of a point in the
+// metric space, or -1 when the space has no region structure (only
+// transit-stub spaces label regions; transit routers are -1 too).
+func (nw *Network) RegionOf(addr int) int {
+	if d, ok := nw.sim.Space().(*metric.Dense); ok && len(d.Region) > 0 {
+		return d.Region[addr]
+	}
+	return -1
+}
+
+// AddNode inserts a node at the given point: the first call bootstraps the
+// overlay, later calls run the full dynamic insertion protocol through a
+// random gateway. It returns the node and the insertion cost.
+func (nw *Network) AddNode(addr int) (*Node, Cost, error) {
+	nw.mu.Lock()
+	id := nw.mesh.Spec().Random(nw.rng)
+	for nw.mesh.NodeByID(id) != nil {
+		id = nw.mesh.Spec().Random(nw.rng)
+	}
+	var gateway *core.Node
+	if nodes := nw.mesh.Nodes(); len(nodes) > 0 {
+		gateway = nodes[nw.rng.Intn(len(nodes))]
+	}
+	nw.mu.Unlock()
+
+	if gateway == nil {
+		n, err := nw.mesh.Bootstrap(id, netsim.Addr(addr))
+		if err != nil {
+			return nil, Cost{}, err
+		}
+		return &Node{nw: nw, inner: n}, Cost{}, nil
+	}
+	n, cost, err := nw.mesh.Join(gateway, id, netsim.Addr(addr))
+	if err != nil {
+		return nil, costOf(cost), err
+	}
+	return &Node{nw: nw, inner: n}, costOf(cost), nil
+}
+
+// Grow adds count nodes at distinct random free points and returns them.
+func (nw *Network) Grow(count int) ([]*Node, error) {
+	out := make([]*Node, 0, count)
+	for i := 0; i < count; i++ {
+		addr, err := nw.freeAddr()
+		if err != nil {
+			return out, err
+		}
+		n, _, err := nw.AddNode(addr)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func (nw *Network) freeAddr() (int, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	size := nw.sim.Size()
+	start := nw.rng.Intn(size)
+	for i := 0; i < size; i++ {
+		a := (start + i) % size
+		if nw.mesh.NodeAt(netsim.Addr(a)) == nil && !nw.sim.Alive(netsim.Addr(a)) {
+			return a, nil
+		}
+	}
+	return 0, errors.New("tapestry: metric space is full")
+}
+
+// guid hashes an object name into the identifier namespace.
+func (nw *Network) guid(name string) ids.ID { return nw.mesh.Spec().Hash(name) }
+
+// Publish announces that this node stores a replica of the named object.
+func (n *Node) Publish(name string) (Cost, error) {
+	var c netsim.Cost
+	err := n.inner.Publish(n.nw.guid(name), &c)
+	return costOf(&c), err
+}
+
+// PublishLocal additionally publishes a stub-local branch (Section 6.3); on
+// metrics without region structure it behaves like Publish.
+func (n *Node) PublishLocal(name string) (Cost, error) {
+	var c netsim.Cost
+	err := n.inner.PublishLocal(n.nw.guid(name), &c)
+	return costOf(&c), err
+}
+
+// Unpublish withdraws this node's replica of the named object.
+func (n *Node) Unpublish(name string) Cost {
+	var c netsim.Cost
+	n.inner.Unpublish(n.nw.guid(name), &c)
+	return costOf(&c)
+}
+
+// Result reports an object location.
+type Result struct {
+	Found      bool
+	ServerID   string // the replica's node identifier
+	ServerAddr int    // the replica's location
+	Hops       int
+}
+
+// Locate routes a query for the named object toward its root, stopping at
+// the first object pointer and proceeding to the closest replica.
+func (n *Node) Locate(name string) (Result, Cost) {
+	var c netsim.Cost
+	res := n.inner.Locate(n.nw.guid(name), &c)
+	return Result{Found: res.Found, ServerID: res.Server.String(),
+		ServerAddr: int(res.ServerAddr), Hops: res.Hops}, costOf(&c)
+}
+
+// LocateLocal is the two-phase Section 6.3 query: stub-restricted first,
+// wide-area on a miss. The bool reports whether the query stayed local.
+func (n *Node) LocateLocal(name string) (Result, Cost, bool) {
+	var c netsim.Cost
+	res, local := n.inner.LocateLocal(n.nw.guid(name), &c)
+	return Result{Found: res.Found, ServerID: res.Server.String(),
+		ServerAddr: int(res.ServerAddr), Hops: res.Hops}, costOf(&c), local
+}
+
+// Multicast contacts every overlay node whose identifier shares the first
+// prefixLen digits of this node's ID (acknowledged multicast, Section 4.1),
+// invoking fn with each reached node's ID. It returns the number of nodes
+// reached; the call returns only after every acknowledgment is in.
+func (n *Node) Multicast(prefixLen int, fn func(nodeID string)) (int, Cost, error) {
+	var c netsim.Cost
+	var wrapped func(*core.Node)
+	if fn != nil {
+		var mu sync.Mutex
+		wrapped = func(x *core.Node) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn(x.ID().String())
+		}
+	}
+	reached, err := n.inner.AcknowledgedMulticast(n.inner.ID().Prefix(prefixLen), wrapped, &c)
+	return len(reached), costOf(&c), err
+}
+
+// Leave removes the node gracefully (two-phase voluntary delete, Section
+// 5.1): neighbors repair their tables and objects remain available.
+func (n *Node) Leave() (Cost, error) {
+	var c netsim.Cost
+	err := n.inner.Leave(&c)
+	return costOf(&c), err
+}
+
+// Fail kills the node without notice (Section 5.2). The overlay discovers
+// the corpse lazily; objects rooted there stay unavailable until the next
+// maintenance epoch republishes them.
+func (nw *Network) Fail(n *Node) { nw.mesh.Fail(n.inner) }
+
+// RunMaintenance advances one soft-state epoch: expired pointers vanish and
+// every served object is republished.
+func (nw *Network) RunMaintenance() Cost {
+	var c netsim.Cost
+	nw.mesh.RunMaintenanceEpoch(&c)
+	return costOf(&c)
+}
+
+// SweepFailures makes every node probe its neighbors and repair dead links
+// (the heartbeat pass of Section 6.5). Returns the number of links removed.
+func (nw *Network) SweepFailures() int {
+	removed := 0
+	for _, n := range nw.mesh.Nodes() {
+		removed += n.SweepDead(nil)
+	}
+	return removed
+}
+
+// CheckConsistency audits Property 1 (no false holes) and root uniqueness
+// over sample keys, returning human-readable violations (empty = healthy).
+func (nw *Network) CheckConsistency() []string {
+	out := nw.mesh.AuditProperty1()
+	nw.mu.Lock()
+	keys := []ids.ID{
+		nw.mesh.Spec().Random(nw.rng),
+		nw.mesh.Spec().Random(nw.rng),
+		nw.mesh.Spec().Random(nw.rng),
+	}
+	nw.mu.Unlock()
+	return append(out, nw.mesh.AuditUniqueRoots(keys)...)
+}
+
+// Stats summarises the overlay.
+type Stats struct {
+	Nodes          int
+	TotalMessages  int64
+	MeanTableLinks float64
+	TotalPointers  int
+}
+
+// Stats returns a snapshot of overlay-wide statistics.
+func (nw *Network) Stats() Stats {
+	nodes := nw.mesh.Nodes()
+	s := Stats{Nodes: len(nodes), TotalMessages: nw.sim.TotalMessages()}
+	links := 0
+	for _, n := range nodes {
+		links += n.Table().NeighborCount()
+		s.TotalPointers += n.PointerCount()
+	}
+	if len(nodes) > 0 {
+		s.MeanTableLinks = float64(links) / float64(len(nodes))
+	}
+	return s
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d messages=%d links/node=%.1f pointers=%d",
+		s.Nodes, s.TotalMessages, s.MeanTableLinks, s.TotalPointers)
+}

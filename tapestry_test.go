@@ -1,0 +1,155 @@
+package tapestry
+
+import (
+	"testing"
+)
+
+func newNet(t testing.TB, nodes int) (*Network, []*Node) {
+	t.Helper()
+	nw, err := New(RingSpace(nodes*4), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nw.Grow(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, ns
+}
+
+func TestFacadeLifecycle(t *testing.T) {
+	nw, nodes := newNet(t, 24)
+	if nw.Size() != 24 || len(nw.Nodes()) != 24 {
+		t.Fatalf("size %d", nw.Size())
+	}
+	if _, err := nodes[0].Publish("hello"); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		res, cost := n.Locate("hello")
+		if !res.Found {
+			t.Fatalf("locate failed from %s", n.ID())
+		}
+		if res.ServerID != nodes[0].ID() {
+			t.Fatalf("wrong server %s", res.ServerID)
+		}
+		if n != nodes[0] && cost.Messages == 0 {
+			t.Error("no cost charged")
+		}
+	}
+	if v := nw.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("consistency: %v", v)
+	}
+	if s := nw.Stats(); s.Nodes != 24 || s.TotalPointers == 0 || s.String() == "" {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestFacadeUnpublish(t *testing.T) {
+	_, nodes := newNet(t, 16)
+	nodes[3].Publish("temp")
+	nodes[3].Unpublish("temp")
+	if res, _ := nodes[8].Locate("temp"); res.Found {
+		t.Error("found after unpublish")
+	}
+}
+
+func TestFacadeLeaveAndFail(t *testing.T) {
+	nw, nodes := newNet(t, 24)
+	nodes[0].Publish("durable")
+	if _, err := nodes[5].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 23 {
+		t.Errorf("size after leave: %d", nw.Size())
+	}
+	nw.Fail(nodes[7])
+	nw.SweepFailures()
+	nw.RunMaintenance()
+	for _, n := range nw.Nodes() {
+		if res, _ := n.Locate("durable"); !res.Found {
+			t.Fatalf("object lost after churn (client %s)", n.ID())
+		}
+	}
+	if v := nw.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("consistency after churn: %v", v)
+	}
+}
+
+func TestFacadeConfigVariants(t *testing.T) {
+	cfg := Defaults()
+	cfg.PRRRouting = true
+	cfg.RootSetSize = 2
+	cfg.Base = 4
+	cfg.Digits = 12
+	nw, err := New(RingSpace(128), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := nw.Grow(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns[0].Publish("x")
+	if res, _ := ns[10].Locate("x"); !res.Found {
+		t.Error("PRR-variant locate failed")
+	}
+	// Invalid config.
+	bad := Defaults()
+	bad.R = 1
+	if _, err := New(RingSpace(8), bad); err == nil {
+		t.Error("R=1 accepted")
+	}
+}
+
+func TestFacadeSpaceConstructors(t *testing.T) {
+	if RingSpace(8).Size() != 8 {
+		t.Error("ring")
+	}
+	if TorusSpace(4).Size() != 16 {
+		t.Error("torus")
+	}
+	if CloudSpace(10, 1).Size() != 10 {
+		t.Error("cloud")
+	}
+	if RandomGraphSpace(12, 2, 1).Size() != 12 {
+		t.Error("graph")
+	}
+	if TransitStubSpace(1).Size() == 0 {
+		t.Error("transit-stub")
+	}
+}
+
+func TestFacadeSpaceFull(t *testing.T) {
+	nw, err := New(RingSpace(4), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Grow(5); err == nil {
+		t.Error("overfull space accepted")
+	}
+}
+
+func TestFacadeStubLocality(t *testing.T) {
+	nw, err := New(TransitStubSpace(3), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := nw.Grow(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].PublishLocal("regional"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range nodes[1:] {
+		res, _, _ := n.LocateLocal("regional")
+		if res.Found {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nobody found the regional object")
+	}
+}
