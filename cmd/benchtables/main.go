@@ -1,80 +1,48 @@
 // Command benchtables regenerates every table and figure of the paper's
-// evaluation at configurable scale and prints them in paper style. This is
-// the reference generator behind EXPERIMENTS.md.
+// evaluation at configurable scale, fanning experiment cells across a worker
+// pool. Output is byte-identical for any -workers value: each cell draws its
+// RNG streams from a seed derived from (seed, experiment, cell index), and
+// rows merge in cell order. This is the reference generator behind
+// EXPERIMENTS.md.
 //
 // Usage:
 //
-//	benchtables            # full suite at default (paper-comparable) scale
-//	benchtables -quick     # reduced sizes for a fast smoke run
-//	benchtables -only E5   # a single experiment by id (E0..E15, A1..A3)
+//	benchtables                              # full suite, one worker per core
+//	benchtables -quick                       # reduced sizes for a fast smoke run
+//	benchtables -run E5                      # one experiment by id
+//	benchtables -run 'Table1.*|E6'           # any subset by id/name regexp
+//	benchtables -run Stretch.* -workers 8 -format json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"tapestry/internal/expt"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sizes for a fast run")
-	only := flag.String("only", "", "run a single experiment id (E0..E15, A1..A3)")
-	seed := flag.Int64("seed", 1, "base RNG seed")
+	run := flag.String("run", "", "run experiments matching this id/name regexp (e.g. E5, Table1.*)")
+	only := flag.String("only", "", "deprecated alias for -run")
+	seed := flag.Int64("seed", 1, "base RNG seed; per-cell streams are derived from it")
+	workers := flag.Int("workers", 0, "experiment cells run in parallel (0 = GOMAXPROCS)")
+	format := flag.String("format", "table", "output format: table | json | csv")
 	flag.Parse()
 
-	sizes := []int{64, 256, 1024, 4096}
-	queries := 2048
-	nnN, stretchN, balanceN := 256, 512, 512
+	pattern := *run
+	if pattern == "" {
+		pattern = *only
+	}
+	params := expt.DefaultParams()
 	if *quick {
-		sizes = []int{64, 256}
-		queries = 256
-		nnN, stretchN, balanceN = 64, 128, 128
-	}
-	joinSizes := sizes
-	if len(joinSizes) > 3 {
-		joinSizes = joinSizes[:3] // dynamic joins at 4096 take minutes; cap
+		params = expt.QuickParams()
 	}
 
-	experiments := []struct {
-		id  string
-		run func() expt.Table
-	}{
-		{"E0", func() expt.Table { return expt.MetricExpansion(*seed) }},
-		{"E1", func() expt.Table { return expt.Table1Hops(sizes, queries, *seed) }},
-		{"E2", func() expt.Table { return expt.Table1Space(sizes, *seed+1) }},
-		{"E3", func() expt.Table { return expt.Table1InsertCost(joinSizes, *seed+2) }},
-		{"E4", func() expt.Table { return expt.Table1Balance(balanceN, 8*balanceN, *seed+3) }},
-		{"E5", func() expt.Table { return expt.StretchVsDistance(stretchN, 256, 4*queries, *seed+4) }},
-		{"E6", func() expt.Table { return expt.SurrogateOverhead(sizes, 512, *seed+5) }},
-		{"E7", func() expt.Table {
-			return expt.NNCorrectness(nnN, []int{4, 8, 16, 32, 64, nnN}, *seed+6)
-		}},
-		{"E8", func() expt.Table { return expt.Multicast(stretchN, *seed+7) }},
-		{"E9", func() expt.Table { return expt.AvailabilityDuringJoin(64, 32, *seed+8) }},
-		{"E10", func() expt.Table { return expt.ParallelJoin(32, 5, 8, *seed+9) }},
-		{"E11", func() expt.Table { return expt.Deletion(nnN, *seed+10) }},
-		{"E12", func() expt.Table { return expt.OptimizePointers(96, 24, *seed+11) }},
-		{"E13", func() expt.Table { return expt.StubLocality(*seed + 12) }},
-		{"E14", func() expt.Table { return expt.GeneralMetric([]int{64, 128, 256, 512}, *seed+13) }},
-		{"E15", func() expt.Table { return expt.MultiRoot(stretchN, []int{1, 2, 4}, 0.15, *seed+14) }},
-		{"E16", func() expt.Table { return expt.ContinualOptimization(nnN, *seed+18) }},
-		{"A1", func() expt.Table { return expt.AblationSurrogate(stretchN, *seed+15) }},
-		{"A2", func() expt.Table { return expt.AblationR(stretchN, []int{2, 3, 4}, *seed+16) }},
-		{"A3", func() expt.Table { return expt.AblationBase(stretchN, []int{4, 8, 16, 32}, *seed+17) }},
-	}
-
-	ran := 0
-	for _, e := range experiments {
-		if *only != "" && !strings.EqualFold(*only, e.id) {
-			continue
-		}
-		fmt.Printf("[%s]\n%s\n", e.id, e.run())
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", *only)
+	r := expt.Runner{Seed: *seed, Workers: *workers, Params: params}
+	if err := r.RunAndEmit(os.Stdout, pattern, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(2)
 	}
 }

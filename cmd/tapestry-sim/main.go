@@ -2,9 +2,14 @@
 // space, runs a publish/locate workload with optional churn, and prints
 // routing statistics — a one-shot driver for exploring configurations.
 //
-// Example:
+// It shares the registry-driven experiment engine with benchtables: pass
+// -run to reproduce any subset of the paper's tables in parallel instead of
+// running the ad-hoc workload.
+//
+// Examples:
 //
 //	tapestry-sim -n 512 -space torus -objects 128 -queries 4096 -churn 32
+//	tapestry-sim -run 'E5|SurrogateOverhead' -workers 8 -format csv
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"tapestry"
+	"tapestry/internal/expt"
 )
 
 func main() {
@@ -29,7 +35,16 @@ func main() {
 	roots := flag.Int("roots", 1, "root-set size |R_psi|")
 	prr := flag.Bool("prr", false, "use PRR-like surrogate routing")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	run := flag.String("run", "", "run registry experiments matching this id/name regexp instead of the ad-hoc workload")
+	quick := flag.Bool("quick", false, "with -run: reduced experiment sizes")
+	workers := flag.Int("workers", 0, "with -run: experiment cells run in parallel (0 = GOMAXPROCS)")
+	format := flag.String("format", "table", "output format: table | json | csv")
 	flag.Parse()
+
+	if *run != "" {
+		runExperiments(*run, *quick, *seed, *workers, *format)
+		return
+	}
 
 	var space tapestry.Space
 	switch *spaceKind {
@@ -120,6 +135,18 @@ func main() {
 	fmt.Printf("queries: %d/%d found | mean hops %.2f | mean msgs %.1f | mean distance %.1f\n",
 		found, *queries, hops/float64(found), msgs/float64(found), dist/float64(found))
 	fmt.Printf("total network messages: %d\n", nw.TotalMessages())
+}
+
+// runExperiments reproduces paper tables through the shared registry engine.
+func runExperiments(pattern string, quick bool, seed int64, workers int, format string) {
+	params := expt.DefaultParams()
+	if quick {
+		params = expt.QuickParams()
+	}
+	r := expt.Runner{Seed: seed, Workers: workers, Params: params}
+	if err := r.RunAndEmit(os.Stdout, pattern, format); err != nil {
+		fail(err)
+	}
 }
 
 func fail(err error) {

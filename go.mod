@@ -1,0 +1,3 @@
+module tapestry
+
+go 1.22

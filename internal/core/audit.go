@@ -51,11 +51,10 @@ func (m *Mesh) freshID(rng *rand.Rand) ids.ID {
 // randomLiveNode returns a uniformly random registered node, or nil when the
 // overlay is empty.
 func (m *Mesh) randomLiveNode(rng *rand.Rand) *Node {
-	nodes := m.Nodes()
+	nodes := m.Nodes() // already ID-sorted, so the draw is reproducible
 	if len(nodes) == 0 {
 		return nil
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id.Less(nodes[j].id) })
 	return nodes[rng.Intn(len(nodes))]
 }
 

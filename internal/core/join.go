@@ -39,16 +39,11 @@ func (m *Mesh) Join(gateway *Node, newID ids.ID, addr netsim.Addr) (*Node, *nets
 		return nil, cost, fmt.Errorf("core: node-ID %v already present", newID)
 	}
 
-	n, err := m.register(newID, addr)
+	alpha := newID.Prefix(ids.CommonPrefixLen(newID, surrogate.id))
+	n, err := m.register(newID, addr, alpha, surrogate.entryFor(addr))
 	if err != nil {
 		return nil, cost, err
 	}
-	alpha := newID.Prefix(ids.CommonPrefixLen(newID, surrogate.id))
-
-	n.mu.Lock()
-	n.alpha = alpha
-	n.psurrogate = surrogate.entryFor(addr)
-	n.mu.Unlock()
 
 	// Step 2: preliminary neighbor table (GetPrelimNeighborTable): every
 	// link the surrogate has, re-evaluated from the new node's vantage
@@ -57,12 +52,29 @@ func (m *Mesh) Join(gateway *Node, newID ids.ID, addr netsim.Addr) (*Node, *nets
 		m.abortJoin(n)
 		return nil, cost, fmt.Errorf("core: surrogate died mid-join: %w", err)
 	}
+	// Pin the new node at its surrogate for the whole insertion, BEFORE
+	// taking the preliminary snapshot. α is a prefix of the surrogate's own
+	// ID, so any concurrent insertion's multicast self-recurses at the
+	// surrogate down to level |α| and gets forwarded to the pinned new node
+	// — the §4.4 guarantee that simultaneous inserters discover each other
+	// even when their multicasts are in flight at the same time. (The
+	// multicast below pins it at every reached node too, but that only
+	// helps multicasts that start after this one's wavefront has passed.)
+	pe := route.Entry{ID: n.id, Addr: addr,
+		Distance: m.net.Distance(surrogate.addr, addr), Pinned: true}
+	surrogate.mu.Lock()
+	pinAdded, _ := surrogate.table.Add(alpha.Len(), pe) // pinned adds never evict
+	surrogate.mu.Unlock()
+	if pinAdded {
+		surrogate.sendBackpointerAdd(alpha.Len(), pe, cost)
+	}
 	prelim := surrogate.snapshotTable()
 	n.installPreliminary(surrogate, prelim, cost)
 
 	// Step 3: acknowledged multicast over α with the watch list.
 	watch := n.holeSlots()
 	ctx := &mcastCtx{
+		root:      alpha,
 		fn:        func(x *Node) { x.linkAndXferRoot(n, cost) },
 		cost:      cost,
 		newNode:   route.Entry{ID: n.id, Addr: n.addr},
@@ -70,6 +82,7 @@ func (m *Mesh) Join(gateway *Node, newID ids.ID, addr netsim.Addr) (*Node, *nets
 		watch:     newWatchList(newID, watch),
 		newRef:    n,
 		visited:   map[string]bool{},
+		pinned:    []*Node{surrogate}, // the step-2 pin, released with the rest
 	}
 	if err := m.net.Send(addr, surrogate.addr, cost, false); err != nil {
 		m.abortJoin(n)
@@ -86,6 +99,10 @@ func (m *Mesh) Join(gateway *Node, newID ids.ID, addr netsim.Addr) (*Node, *nets
 	n.mu.Lock()
 	n.state = stateActive
 	n.mu.Unlock()
+	// Only now release the §4.4 pins: while they were held, every multicast
+	// of a concurrently inserting node was forwarded to n, so the two could
+	// link (Theorem 6). Deferred capacity evictions happen here.
+	ctx.releasePins()
 	return n, cost, nil
 }
 
@@ -113,9 +130,17 @@ func (n *Node) installPreliminary(surrogate *Node, prelim map[int][]route.Entry,
 		}
 	}
 	addAtAllLevels(surrogate.entryFor(n.addr))
+	// Walk levels in ascending order — prelim is a map, and installation
+	// order decides evictions among equal-distance candidates, so iterating
+	// it directly would make joins (and their message costs) nondeterministic.
+	levels := make([]int, 0, len(prelim))
+	for l := range prelim {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
 	seen := map[string]bool{}
-	for _, ents := range prelim {
-		for _, e := range ents {
+	for _, l := range levels {
+		for _, e := range prelim[l] {
 			if seen[e.ID.String()] {
 				continue
 			}
@@ -179,7 +204,13 @@ func (x *Node) linkAndXferRoot(n *Node, cost *netsim.Cost) {
 		rec  pointerRec
 	}
 	var moves []moved
-	for _, st := range x.objects {
+	guids := make([]string, 0, len(x.objects))
+	for g := range x.objects {
+		guids = append(guids, g)
+	}
+	sort.Strings(guids)
+	for _, g := range guids {
+		st := x.objects[g]
 		for i := range st.recs {
 			r := st.recs[i]
 			terminalHere := x.nextHop(r.key, r.level, ids.ID{}, nil).terminal
@@ -296,6 +327,10 @@ func (n *Node) getNextList(list []route.Entry, level, k int, cost *netsim.Cost) 
 	for _, e := range candidates {
 		union = append(union, e)
 	}
+	// The union feeds buildTableFromList, where installation order decides
+	// evictions among equal-distance candidates; a map-ordered union would
+	// make join results nondeterministic.
+	sort.Slice(union, func(i, j int) bool { return union[i].ID.Less(union[j].ID) })
 	all = n.measureAll(union, level)
 	trimmed = n.contactList(keepClosestK(append([]route.Entry(nil), all...), k), cost)
 	return trimmed, all

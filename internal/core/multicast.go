@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"tapestry/internal/ids"
@@ -49,6 +50,14 @@ func (w *watchList) claim(x ids.ID) []slotRef {
 			delete(w.unfired, s)
 		}
 	}
+	// unfired is a map; hand the claimed slots back in a fixed order so the
+	// inserting node's notify sequence is reproducible.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].level != out[j].level {
+			return out[i].level < out[j].level
+		}
+		return out[i].digit < out[j].digit
+	})
 	return out
 }
 
@@ -56,6 +65,8 @@ func (w *watchList) claim(x ids.ID) []slotRef {
 type mcastCtx struct {
 	fn   func(*Node) // applied exactly once per reached node (may be nil)
 	cost *netsim.Cost
+
+	root ids.Prefix // the multicast's α: every node extending it is owed a visit
 
 	// Insertion extensions (zero-valued for plain multicasts):
 	newNode   route.Entry // the inserting node this multicast announces
@@ -66,6 +77,7 @@ type mcastCtx struct {
 	mu      sync.Mutex
 	visited map[string]bool
 	reached []route.Entry // every node the multicast touched, with addr
+	pinned  []*Node       // nodes holding the inserting node pinned (§4.4)
 }
 
 func (ctx *mcastCtx) firstVisit(n *Node) bool {
@@ -97,7 +109,7 @@ func (n *Node) AcknowledgedMulticast(p ids.Prefix, fn func(*Node), cost *netsim.
 	if !n.id.HasPrefix(p) {
 		return nil, fmt.Errorf("core: multicast prefix %v is not a prefix of %v", p, n.id)
 	}
-	ctx := &mcastCtx{fn: fn, cost: cost, visited: make(map[string]bool)}
+	ctx := &mcastCtx{fn: fn, cost: cost, root: p, visited: make(map[string]bool)}
 	n.mcastArrive(p, ctx)
 	return ctx.reachedEntries(), nil
 }
@@ -110,23 +122,41 @@ func (n *Node) mcastArrive(p ids.Prefix, ctx *mcastCtx) {
 	if !ctx.firstVisit(n) {
 		return // duplicate delivery via a pinned pointer; suppressed
 	}
-	pinnedHere := false
 	if !ctx.newNode.ID.IsZero() && !ctx.newNode.ID.Equal(n.id) {
 		// Pin the inserting node at the hole level so that (a) it cannot be
 		// evicted mid-insertion and (b) other multicasts passing through
-		// this slot are forwarded to it (Section 4.4).
+		// this slot are forwarded to it (Section 4.4). The pin must outlive
+		// this multicast: it is released only when the whole insertion
+		// completes (see Mesh.Join), otherwise a second node inserting
+		// concurrently can multicast during the window where this one is in
+		// no table at all and the two never link (a Theorem 6 violation).
 		e := ctx.newNode
 		e.Distance = n.mesh.net.Distance(n.addr, e.Addr)
 		e.Pinned = true
 		n.mu.Lock()
-		added, evicted := n.table.Add(ctx.holeLevel, e)
+		// Skip nodes that already hold the pin (the surrogate is pinned in
+		// step 2 and pre-seeded in ctx.pinned): Add would report an
+		// update-in-place as added=true, double-registering the release and
+		// re-sending a backpointer the node already has.
+		alreadyPinned := false
+		for _, pe := range n.table.PinnedAt(ctx.holeLevel, e.ID.Digit(ctx.holeLevel)) {
+			if pe.ID.Equal(e.ID) {
+				alreadyPinned = true
+				break
+			}
+		}
+		added := false
+		if !alreadyPinned {
+			// A pinned add never evicts: pinned entries are exempt from the
+			// R bound and cannot push the unpinned count over it.
+			added, _ = n.table.Add(ctx.holeLevel, e)
+		}
 		n.mu.Unlock()
 		if added {
-			pinnedHere = true
+			ctx.mu.Lock()
+			ctx.pinned = append(ctx.pinned, n)
+			ctx.mu.Unlock()
 			n.sendBackpointerAdd(ctx.holeLevel, e, ctx.cost)
-		}
-		for _, ev := range evicted {
-			n.sendBackpointerRemove(ctx.holeLevel, ev, ctx.cost)
 		}
 		// Watch list: if this node fills a slot the inserting node still
 		// lacks, tell it directly (Figure 11, CheckForNodesAndSend).
@@ -141,14 +171,59 @@ func (n *Node) mcastArrive(p ids.Prefix, ctx *mcastCtx) {
 		}
 	}
 
-	n.mcastDescend(p, ctx)
+	// Forward to in-flight inserters BEFORE descending. Inserters are pinned
+	// at their hole level, which the regular fan-out scans only at the root
+	// depth (each node is visited once, at the depth the wavefront reaches
+	// it, and OnlyNodeWithPrefix can end a visit before any fan-out). Every
+	// pinned entry extending the multicast's root prefix is an α-node owed
+	// a visit, wherever it is pinned. Ordering matters: this node pinned
+	// ctx's inserter above before scanning, so of two multicasts crossing
+	// at this node, at least one must see the other's pin — a mutual miss
+	// would need each scan to precede the other's pin, which contradicts
+	// pin-before-scan within each visit (§4.4, Theorem 6).
+	n.mu.Lock()
+	var inflight []route.Entry
+	if n.table.PinnedCount() > 0 { // O(1) fast path: no insertion in flight here
+		for lvl := 0; lvl < n.table.Levels(); lvl++ {
+			for j := 0; j < n.table.Base(); j++ {
+				for _, e := range n.table.PinnedAt(lvl, ids.Digit(j)) {
+					if e.ID.Equal(n.id) || !e.ID.HasPrefix(ctx.root) {
+						continue
+					}
+					inflight = append(inflight, e)
+				}
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, e := range inflight {
+		if !ctx.newNode.ID.IsZero() && e.ID.Equal(ctx.newNode.ID) {
+			continue
+		}
+		child, err := n.mesh.rpc(n.addr, e, ctx.cost, false)
+		if err != nil {
+			continue // died mid-insertion; its abort cleans up
+		}
+		child.mcastArrive(ctx.root.Extend(e.ID.Digit(ctx.root.Len())), ctx)
+	}
 
-	if pinnedHere {
-		n.mu.Lock()
-		evicted := n.table.Unpin(ctx.holeLevel, ctx.newNode.ID)
-		n.mu.Unlock()
+	n.mcastDescend(p, ctx)
+}
+
+// releasePins unpins the inserting node at every node that pinned it,
+// applying any deferred capacity evictions. Called by Mesh.Join once the
+// insertion has fully completed and the new node is durably reachable.
+func (ctx *mcastCtx) releasePins() {
+	ctx.mu.Lock()
+	pinned := ctx.pinned
+	ctx.pinned = nil
+	ctx.mu.Unlock()
+	for _, x := range pinned {
+		x.mu.Lock()
+		evicted := x.table.Unpin(ctx.holeLevel, ctx.newNode.ID)
+		x.mu.Unlock()
 		for _, ev := range evicted {
-			n.sendBackpointerRemove(ctx.holeLevel, ev, ctx.cost)
+			x.sendBackpointerRemove(ctx.holeLevel, ev, ctx.cost)
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"tapestry/internal/ids"
@@ -233,8 +234,11 @@ func (m *Mesh) newNodeLocked(id ids.ID, addr netsim.Addr) *Node {
 	return n
 }
 
-// register validates uniqueness and creates an inserting node.
-func (m *Mesh) register(id ids.ID, addr netsim.Addr) (*Node, error) {
+// register validates uniqueness and creates an inserting node. The node's
+// Figure 10 fields (α and the pre-insertion surrogate) are set before it
+// becomes visible in the registry: a concurrent surrogate walk may reach the
+// node the instant it is published, and must be able to bounce off it.
+func (m *Mesh) register(id ids.ID, addr netsim.Addr, alpha ids.Prefix, psur route.Entry) (*Node, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.byID[id.String()]; dup {
@@ -243,7 +247,10 @@ func (m *Mesh) register(id ids.ID, addr netsim.Addr) (*Node, error) {
 	if _, dup := m.byAddr[addr]; dup {
 		return nil, fmt.Errorf("core: address %d already hosts a node", addr)
 	}
-	return m.newNodeLocked(id, addr), nil
+	n := m.newNodeLocked(id, addr)
+	n.alpha = alpha
+	n.psurrogate = psur
+	return n, nil
 }
 
 // unregister removes a departed node from the registry.
@@ -277,6 +284,9 @@ func (m *Mesh) Nodes() []*Node {
 	for _, n := range m.byID {
 		out = append(out, n)
 	}
+	// byID is a map: return in ID order so churn/failure experiments that
+	// pick victims or probe clients from this slice are reproducible.
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Less(out[j].id) })
 	return out
 }
 

@@ -293,7 +293,11 @@ func (n *Node) locateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult 
 					return LocateResult{}
 				}
 				cur = next
-				level = alpha.Len()
+				// Resume from the arrival level if below |α| (the key only
+				// provably shares min(arrival, |α|) digits with psur).
+				if alpha.Len() < level {
+					level = alpha.Len()
+				}
 				hops++
 				continue
 			}

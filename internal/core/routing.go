@@ -144,6 +144,7 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 	level := 0
 	hops := 0
 	deadSet := map[string]bool{}
+	bounced := map[string]bool{}
 	maxHops := n.table.Levels()*n.table.Base() + 8 // generous loop guard; Theorem 2 implies <= Levels hops
 	for {
 		if visit != nil && visit(cur, level) {
@@ -151,8 +152,43 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 		}
 		cur.mu.Lock()
 		dec := cur.nextHop(key, level, ids.ID{}, deadSet)
+		inserting := cur.state == stateInserting
+		psur := cur.psurrogate
+		alpha := cur.alpha
 		cur.mu.Unlock()
 		if dec.terminal {
+			// Figure 10: a node that is still inserting must not act as a
+			// terminal (its table is preliminary — ending a surrogate walk
+			// here would, e.g., give a concurrent Join a near-empty table to
+			// seed from). Bounce to its pre-insertion surrogate, which
+			// routes as if the new node did not exist. The exclusion goes in
+			// deadSet — a single excluded ID is not enough, because a walk
+			// that bounces off a second inserter could otherwise re-enter
+			// (and wrongly terminate at) the first.
+			if inserting && !psur.ID.IsZero() && !bounced[cur.id.String()] {
+				bounced[cur.id.String()] = true
+				deadSet[cur.id.String()] = true
+				next, err := n.mesh.rpc(cur.addr, psur, cost, true)
+				if err != nil {
+					// The pre-insertion surrogate died (join racing churn):
+					// degrade to terminating here rather than failing every
+					// walk that lands on this inserting node.
+					return routeResult{node: cur, hops: hops, level: cur.table.Levels()}, nil
+				}
+				cur = next
+				// Resume from the arrival level if it is below |α|: the
+				// inserter's preliminary table may have resolved rows
+				// level..|α|-1 differently than its surrogate would, and
+				// "as if absent" means re-deciding them too.
+				if alpha.Len() < level {
+					level = alpha.Len()
+				}
+				hops++
+				if hops > maxHops {
+					return routeResult{}, fmt.Errorf("core: routing to %v exceeded %d hops (mesh inconsistent)", key, maxHops)
+				}
+				continue
+			}
 			return routeResult{node: cur, hops: hops, level: cur.table.Levels()}, nil
 		}
 		next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)

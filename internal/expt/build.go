@@ -11,11 +11,25 @@ import (
 	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
 	"tapestry/internal/pastry"
+	"tapestry/internal/stats"
 )
 
 // exptSpec keeps identifiers short enough that modest simulations exercise
 // several routing levels while staying collision-free.
 var exptSpec = ids.Spec{Base: 16, Digits: 8}
+
+// subSeed derives a labeled RNG stream within a cell — one stream for
+// network construction, another for the workload, and so on. Cells that
+// build several systems for side-by-side comparison MUST build them all
+// from the same sub-seed so node index i lands on the same address in each.
+func subSeed(cellSeed int64, label string) int64 {
+	return stats.StreamSeed(cellSeed, label, 0)
+}
+
+// subRNG returns a generator over the labeled stream of subSeed.
+func subRNG(cellSeed int64, label string) *rand.Rand {
+	return rand.New(rand.NewSource(subSeed(cellSeed, label)))
+}
 
 // pickAddrs chooses n distinct host addresses uniformly from the space.
 func pickAddrs(space metric.Space, n int, rng *rand.Rand) []netsim.Addr {

@@ -1,0 +1,72 @@
+package expt
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Formats accepted by Emit.
+const (
+	FormatTable = "table" // aligned-column text, one block per experiment
+	FormatJSON  = "json"  // one JSON array of {id, name, table} objects
+	FormatCSV   = "csv"   // RFC 4180 rows; experiment id prepended per row
+)
+
+// Emit renders results in the given format. FormatCSV flattens every table
+// into one stream with "experiment" and "title" columns so the output stays
+// machine-joinable across experiments; FormatJSON emits a single indented
+// array; FormatTable matches the historical benchtables output.
+func Emit(w io.Writer, format string, results []Result) error {
+	switch format {
+	case FormatTable, "":
+		for _, r := range results {
+			if _, err := fmt.Fprintf(w, "[%s]\n%s\n", r.ID, r.Table); err != nil {
+				return err
+			}
+		}
+		return nil
+	case FormatJSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	case FormatCSV:
+		// Tables have different column counts, but a CSV stream must keep a
+		// single field count per file (csv.Reader and pandas reject ragged
+		// records), so every record is padded to the widest table.
+		width := 2
+		for _, r := range results {
+			if w := 2 + len(r.Table.Header); w > width {
+				width = w
+			}
+			for _, row := range r.Table.Rows {
+				if w := 2 + len(row); w > width {
+					width = w
+				}
+			}
+		}
+		pad := func(rec []string) []string {
+			for len(rec) < width {
+				rec = append(rec, "")
+			}
+			return rec
+		}
+		cw := csv.NewWriter(w)
+		for _, r := range results {
+			header := append([]string{"experiment", "title"}, r.Table.Header...)
+			if err := cw.Write(pad(header)); err != nil {
+				return err
+			}
+			for _, row := range r.Table.Rows {
+				if err := cw.Write(pad(append([]string{r.ID, r.Table.Title}, row...))); err != nil {
+					return err
+				}
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	default:
+		return fmt.Errorf("expt: unknown format %q (want table, json or csv)", format)
+	}
+}

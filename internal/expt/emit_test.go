@@ -1,0 +1,95 @@
+package expt
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func emitResults() []Result {
+	tab := Table{Title: "T", Note: "n", Header: []string{"a", "b"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x, with comma", 0.1)
+	return []Result{{ID: "E99", Name: "Fake", Table: tab}}
+}
+
+func TestEmitJSONRoundTrips(t *testing.T) {
+	var b strings.Builder
+	if err := Emit(&b, FormatJSON, emitResults()); err != nil {
+		t.Fatal(err)
+	}
+	var back []Result
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, b.String())
+	}
+	if len(back) != 1 || back[0].ID != "E99" || back[0].Table.Title != "T" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if len(back[0].Table.Rows) != 2 || back[0].Table.Rows[0][1] != "2.5" {
+		t.Fatalf("rows mangled: %+v", back[0].Table.Rows)
+	}
+}
+
+func TestEmitCSVQuotesAndPrefixes(t *testing.T) {
+	var b strings.Builder
+	if err := Emit(&b, FormatCSV, emitResults()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, b.String())
+	}
+	if len(recs) != 3 { // header + 2 rows
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0][0] != "experiment" || recs[1][0] != "E99" {
+		t.Errorf("missing experiment column: %v", recs[0])
+	}
+	if recs[2][2] != "x, with comma" {
+		t.Errorf("comma cell mangled: %q", recs[2][2])
+	}
+}
+
+func TestEmitCSVUniformWidthAcrossTables(t *testing.T) {
+	wide := Table{Title: "W", Header: []string{"a", "b", "c", "d"}}
+	wide.AddRow(1, 2, 3, 4)
+	narrow := Table{Title: "N", Header: []string{"x"}}
+	narrow.AddRow(9)
+	var b strings.Builder
+	if err := Emit(&b, FormatCSV, []Result{{ID: "E1", Table: wide}, {ID: "E2", Table: narrow}}); err != nil {
+		t.Fatal(err)
+	}
+	// A single strict reader must accept the whole stream: every record the
+	// same width, padded with empty fields.
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("multi-table CSV is ragged: %v\n%s", err, b.String())
+	}
+	for i, r := range recs {
+		if len(r) != 6 { // experiment + title + 4 widest columns
+			t.Errorf("record %d has %d fields, want 6: %v", i, len(r), r)
+		}
+	}
+	if recs[3][0] != "E2" || recs[3][2] != "9" || recs[3][3] != "" {
+		t.Errorf("narrow row not padded: %v", recs[3])
+	}
+}
+
+func TestEmitTableMatchesString(t *testing.T) {
+	rs := emitResults()
+	var b strings.Builder
+	if err := Emit(&b, FormatTable, rs); err != nil {
+		t.Fatal(err)
+	}
+	want := "[E99]\n" + rs[0].Table.String() + "\n"
+	if b.String() != want {
+		t.Errorf("table emit diverged:\n%q\nwant\n%q", b.String(), want)
+	}
+}
+
+func TestEmitUnknownFormat(t *testing.T) {
+	if err := Emit(&strings.Builder{}, "yaml", nil); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}

@@ -155,6 +155,9 @@ func TestParallelJoinShape(t *testing.T) {
 		if v := cell(t, tab, row, 3); v != 0 {
 			t.Errorf("root divergences after wave %d: %g\n%s", row+1, v, tab)
 		}
+		if v := cell(t, tab, row, 4); v != 0 {
+			t.Errorf("locate failures during in-flight joins of wave %d: %g (§4.3 availability)\n%s", row+1, v, tab)
+		}
 	}
 }
 

@@ -1,8 +1,18 @@
-// Package expt contains the experiment harness behind every table and
-// figure reproduction: one exported function per experiment, each returning
-// a printable Table. Benchmarks (bench_test.go), the benchtables CLI and
-// EXPERIMENTS.md all consume these, so paper-facing numbers have exactly one
-// implementation.
+// Package expt is the experiment engine behind every table and figure
+// reproduction of Hildrum–Kubiatowicz–Rao–Zhao (SPAA 2002).
+//
+// Each experiment is a registered Def: a table skeleton plus independent
+// cells (typically one per swept parameter value). A Def runs through the
+// worker-pool Runner, which derives each cell's RNG stream from
+// (run seed, experiment name, cell index) via stats.StreamSeed and merges
+// rows in cell order — so output is byte-identical for any worker count.
+// The registry (Experiments, Match) lets CLIs select experiment subsets by
+// ID or name regexp; emit.go renders results as text, JSON or CSV.
+//
+// The exported one-call-per-experiment functions (Table1Hops, Multicast, …)
+// remain as serial wrappers over the same definitions, so benchmarks
+// (bench_test.go), the CLIs and EXPERIMENTS.md all share exactly one
+// implementation of every paper-facing number.
 package expt
 
 import (
@@ -12,10 +22,10 @@ import (
 
 // Table is a titled grid of stringified results.
 type Table struct {
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row of values, stringifying each.

@@ -3,7 +3,6 @@ package expt
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"tapestry/internal/chord"
 	"tapestry/internal/ids"
@@ -12,71 +11,83 @@ import (
 	"tapestry/internal/workload"
 )
 
-// Table1Hops (E1) regenerates the "Hops" column of Table 1 empirically:
+// table1HopsDef (E1) regenerates the "Hops" column of Table 1 empirically:
 // median and mean application-level hops per successful object location, per
 // system, across network sizes. Expected shape: Tapestry, Chord and Pastry
 // grow as O(log n); CAN (r=2) grows as O(n^{1/2}); the central directory is
-// constant (2).
-func Table1Hops(sizes []int, queries int, seed int64) Table {
-	t := Table{
-		Title:  "Table 1 / Hops column — application-level hops per lookup",
-		Note:   "expect Θ(log n) for Tapestry/Chord/Pastry, Θ(√n) for CAN (r=2), 2 for central directory",
-		Header: []string{"n", "tapestry p50", "tapestry mean", "chord mean", "pastry mean", "can mean", "directory", "log2(n)"},
+// constant (2). One cell per network size.
+func table1HopsDef(sizes []int, queries int) Def {
+	d := Def{
+		Name: "Table1Hops",
+		Table: Table{
+			Title:  "Table 1 / Hops column — application-level hops per lookup",
+			Note:   "expect Θ(log n) for Tapestry/Chord/Pastry, Θ(√n) for CAN (r=2), 2 for central directory",
+			Header: []string{"n", "tapestry p50", "tapestry mean", "chord mean", "pastry mean", "can mean", "directory", "log2(n)"},
+		},
 	}
 	for _, n := range sizes {
-		rng := rand.New(rand.NewSource(seed))
-		// Tapestry.
-		tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), seed, false)
-		var tapHops stats.Summary
-		place := workload.UniformPlacement(64, 1, n, rng)
-		guids := publishTapestry(tap, place)
-		mix := workload.UniformQueries(queries, n, len(guids), rng)
-		for i := range mix.Clients {
-			res := tap.nodes[mix.Clients[i]].Locate(guids[mix.Objects[i]], nil)
-			if res.Found {
-				tapHops.AddInt(res.Hops)
+		n := n
+		d.Cells = append(d.Cells, Cell{Label: fmt.Sprintf("n=%d", n), Run: func(seed int64, t *Table) {
+			rng := subRNG(seed, "workload")
+			bseed := subSeed(seed, "build")
+			// Tapestry.
+			tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), bseed, false)
+			var tapHops stats.Summary
+			place := workload.UniformPlacement(64, 1, n, rng)
+			guids := publishTapestry(tap, place)
+			mix := workload.UniformQueries(queries, n, len(guids), rng)
+			for i := range mix.Clients {
+				res := tap.nodes[mix.Clients[i]].Locate(guids[mix.Objects[i]], nil)
+				if res.Found {
+					tapHops.AddInt(res.Hops)
+				}
 			}
-		}
-		// Chord.
-		ch := buildChord(ringSpace(n), n, seed)
-		var chordHops stats.Summary
-		chKeys := make([]uint64, len(place.Names))
-		for i, name := range place.Names {
-			chKeys[i] = chordHashOf(name, seed)
-			_ = ch.nodes[place.Servers[i][0]].Publish(chKeys[i], nil)
-		}
-		for i := range mix.Clients {
-			if res := ch.nodes[mix.Clients[i]].Locate(chKeys[mix.Objects[i]], nil); res.Found {
-				chordHops.AddInt(res.Hops)
+			// Chord.
+			ch := buildChord(ringSpace(n), n, bseed)
+			var chordHops stats.Summary
+			chKeys := make([]uint64, len(place.Names))
+			for i, name := range place.Names {
+				chKeys[i] = chordHashOf(name, bseed)
+				_ = ch.nodes[place.Servers[i][0]].Publish(chKeys[i], nil)
 			}
-		}
-		// Pastry.
-		pa := buildPastry(ringSpace(n), n, seed)
-		var pastryHops stats.Summary
-		paKeys := pastryKeys(place.Names)
-		for i := range paKeys {
-			_ = pa.nodes[place.Servers[i][0]].Publish(paKeys[i], nil)
-		}
-		for i := range mix.Clients {
-			if res := pa.nodes[mix.Clients[i]].Locate(paKeys[mix.Objects[i]], nil); res.Found {
-				pastryHops.AddInt(res.Hops)
+			for i := range mix.Clients {
+				if res := ch.nodes[mix.Clients[i]].Locate(chKeys[mix.Objects[i]], nil); res.Found {
+					chordHops.AddInt(res.Hops)
+				}
 			}
-		}
-		// CAN (r=2).
-		cn := buildCAN(ringSpace(n), n, 2, seed)
-		var canHops stats.Summary
-		for i := range place.Names {
-			_ = cn.nodes[place.Servers[i][0]].Publish(place.Names[i], nil)
-		}
-		for i := range mix.Clients {
-			if res := cn.nodes[mix.Clients[i]].Locate(place.Names[mix.Objects[i]], nil); res.Found {
-				canHops.AddInt(res.Hops)
+			// Pastry.
+			pa := buildPastry(ringSpace(n), n, bseed)
+			var pastryHops stats.Summary
+			paKeys := pastryKeys(place.Names)
+			for i := range paKeys {
+				_ = pa.nodes[place.Servers[i][0]].Publish(paKeys[i], nil)
 			}
-		}
-		t.AddRow(n, tapHops.Median(), tapHops.Mean(), chordHops.Mean(), pastryHops.Mean(),
-			canHops.Mean(), 2.0, math.Log2(float64(n)))
+			for i := range mix.Clients {
+				if res := pa.nodes[mix.Clients[i]].Locate(paKeys[mix.Objects[i]], nil); res.Found {
+					pastryHops.AddInt(res.Hops)
+				}
+			}
+			// CAN (r=2).
+			cn := buildCAN(ringSpace(n), n, 2, bseed)
+			var canHops stats.Summary
+			for i := range place.Names {
+				_ = cn.nodes[place.Servers[i][0]].Publish(place.Names[i], nil)
+			}
+			for i := range mix.Clients {
+				if res := cn.nodes[mix.Clients[i]].Locate(place.Names[mix.Objects[i]], nil); res.Found {
+					canHops.AddInt(res.Hops)
+				}
+			}
+			t.AddRow(n, tapHops.Median(), tapHops.Mean(), chordHops.Mean(), pastryHops.Mean(),
+				canHops.Mean(), 2.0, math.Log2(float64(n)))
+		}})
 	}
-	return t
+	return d
+}
+
+// Table1Hops (E1) — serial wrapper over table1HopsDef.
+func Table1Hops(sizes []int, queries int, seed int64) Table {
+	return table1HopsDef(sizes, queries).Run(seed, 1)
 }
 
 // publishTapestry publishes every object of the placement on all its
@@ -103,95 +114,131 @@ func pastryKeys(names []string) []ids.ID {
 	return out
 }
 
-// Table1Space (E2) regenerates the "Space" column: per-node routing-table
+// table1SpaceDef (E2) regenerates the "Space" column: per-node routing-table
 // entries. Expected shape: Tapestry/Pastry/Chord hold Θ(log n) entries; CAN
-// holds Θ(r).
-func Table1Space(sizes []int, seed int64) Table {
-	t := Table{
-		Title:  "Table 1 / Space column — routing entries per node",
-		Note:   "Tapestry counts per-level neighbor links (R per slot); expect Θ(log n) except CAN's Θ(r)",
-		Header: []string{"n", "tapestry mean", "tapestry max", "chord mean", "pastry mean", "can mean", "log2(n)"},
+// holds Θ(r). One cell per network size.
+func table1SpaceDef(sizes []int) Def {
+	d := Def{
+		Name: "Table1Space",
+		Table: Table{
+			Title:  "Table 1 / Space column — routing entries per node",
+			Note:   "Tapestry counts per-level neighbor links (R per slot); expect Θ(log n) except CAN's Θ(r)",
+			Header: []string{"n", "tapestry mean", "tapestry max", "chord mean", "pastry mean", "can mean", "log2(n)"},
+		},
 	}
 	for _, n := range sizes {
-		tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), seed, false)
-		var tapS stats.Summary
-		for _, node := range tap.nodes {
-			tapS.AddInt(node.Table().NeighborCount())
-		}
-		ch := buildChord(ringSpace(n), n, seed)
-		var chS stats.Summary
-		for _, node := range ch.nodes {
-			chS.AddInt(node.FingerCount())
-		}
-		pa := buildPastry(ringSpace(n), n, seed)
-		var paS stats.Summary
-		for _, node := range pa.nodes {
-			paS.AddInt(node.TableSize())
-		}
-		cn := buildCAN(ringSpace(n), n, 2, seed)
-		var cnS stats.Summary
-		for _, node := range cn.nodes {
-			cnS.AddInt(node.NeighborCount())
-		}
-		t.AddRow(n, tapS.Mean(), tapS.Max(), chS.Mean(), paS.Mean(), cnS.Mean(), math.Log2(float64(n)))
-	}
-	return t
-}
-
-// Table1InsertCost (E3) regenerates the "Insert Cost" column: messages per
-// node insertion, measured over the second half of a growth run (so the
-// network is at representative size). Expected shape: Θ(log² n) for Tapestry
-// and Chord; CAN's O(r·n^{1/r}) routing plus O(1) zone work.
-func Table1InsertCost(sizes []int, seed int64) Table {
-	t := Table{
-		Title:  "Table 1 / Insert Cost column — messages per node insertion",
-		Note:   "mean over the last n/2 joins; expect Θ(log² n) for Tapestry and Chord",
-		Header: []string{"n", "tapestry", "chord", "can", "log2^2(n)"},
-	}
-	for _, n := range sizes {
-		tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), seed, true)
-		ch := buildChord(ringSpace(n), n, seed)
-		cn := buildCAN(ringSpace(n), n, 2, seed)
-		mean := func(costs []int) float64 {
-			var s stats.Summary
-			for _, c := range costs[len(costs)/2:] {
-				s.AddInt(c)
+		n := n
+		d.Cells = append(d.Cells, Cell{Label: fmt.Sprintf("n=%d", n), Run: func(seed int64, t *Table) {
+			bseed := subSeed(seed, "build")
+			tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), bseed, false)
+			var tapS stats.Summary
+			for _, node := range tap.nodes {
+				tapS.AddInt(node.Table().NeighborCount())
 			}
-			return s.Mean()
-		}
-		l := math.Log2(float64(n))
-		t.AddRow(n, mean(tap.joinCosts), mean(ch.joinCosts), mean(cn.joinCosts), l*l)
+			ch := buildChord(ringSpace(n), n, bseed)
+			var chS stats.Summary
+			for _, node := range ch.nodes {
+				chS.AddInt(node.FingerCount())
+			}
+			pa := buildPastry(ringSpace(n), n, bseed)
+			var paS stats.Summary
+			for _, node := range pa.nodes {
+				paS.AddInt(node.TableSize())
+			}
+			cn := buildCAN(ringSpace(n), n, 2, bseed)
+			var cnS stats.Summary
+			for _, node := range cn.nodes {
+				cnS.AddInt(node.NeighborCount())
+			}
+			t.AddRow(n, tapS.Mean(), tapS.Max(), chS.Mean(), paS.Mean(), cnS.Mean(), math.Log2(float64(n)))
+		}})
 	}
-	return t
+	return d
 }
 
-// Table1Balance (E4) regenerates the "Balanced?" column: the skew of
+// Table1Space (E2) — serial wrapper over table1SpaceDef.
+func Table1Space(sizes []int, seed int64) Table {
+	return table1SpaceDef(sizes).Run(seed, 1)
+}
+
+// table1InsertCostDef (E3) regenerates the "Insert Cost" column: messages
+// per node insertion, measured over the second half of a growth run (so the
+// network is at representative size). Expected shape: Θ(log² n) for Tapestry
+// and Chord; CAN's O(r·n^{1/r}) routing plus O(1) zone work. One cell per
+// network size — by far the slowest sweep, so this is where the worker pool
+// pays off most.
+func table1InsertCostDef(sizes []int) Def {
+	d := Def{
+		Name: "Table1InsertCost",
+		Table: Table{
+			Title:  "Table 1 / Insert Cost column — messages per node insertion",
+			Note:   "mean over the last n/2 joins; expect Θ(log² n) for Tapestry and Chord",
+			Header: []string{"n", "tapestry", "chord", "can", "log2^2(n)"},
+		},
+	}
+	for _, n := range sizes {
+		n := n
+		d.Cells = append(d.Cells, Cell{Label: fmt.Sprintf("n=%d", n), Run: func(seed int64, t *Table) {
+			bseed := subSeed(seed, "build")
+			tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), bseed, true)
+			ch := buildChord(ringSpace(n), n, bseed)
+			cn := buildCAN(ringSpace(n), n, 2, bseed)
+			mean := func(costs []int) float64 {
+				var s stats.Summary
+				for _, c := range costs[len(costs)/2:] {
+					s.AddInt(c)
+				}
+				return s.Mean()
+			}
+			l := math.Log2(float64(n))
+			t.AddRow(n, mean(tap.joinCosts), mean(ch.joinCosts), mean(cn.joinCosts), l*l)
+		}})
+	}
+	return d
+}
+
+// Table1InsertCost (E3) — serial wrapper over table1InsertCostDef.
+func Table1InsertCost(sizes []int, seed int64) Table {
+	return table1InsertCostDef(sizes).Run(seed, 1)
+}
+
+// table1BalanceDef (E4) regenerates the "Balanced?" column: the skew of
 // directory load. For Tapestry we report the max/mean ratio of object
 // pointers and of root assignments across nodes; for the central directory
 // the answer is structurally "no" (one node absorbs everything).
+func table1BalanceDef(n, objects int) Def {
+	d := Def{
+		Name: "Table1Balance",
+		Table: Table{
+			Title:  "Table 1 / Balanced? column — directory-load skew (max/mean)",
+			Note:   "1.0 is perfect balance; the central directory concentrates 100% of load on one node",
+			Header: []string{"system", "metric", "max/mean", "verdict"},
+		},
+	}
+	d.Cells = append(d.Cells, Cell{Label: fmt.Sprintf("n=%d", n), Run: func(seed int64, t *Table) {
+		rng := subRNG(seed, "workload")
+		tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), subSeed(seed, "build"), false)
+		place := workload.UniformPlacement(objects, 1, n, rng)
+		publishTapestry(tap, place)
+		ptrs := make([]int, len(tap.nodes))
+		roots := make([]int, len(tap.nodes))
+		for i, node := range tap.nodes {
+			ptrs[i] = node.PointerCount()
+			roots[i] = node.RootCount()
+		}
+		ptrSkew := stats.LoadBalance(ptrs)
+		rootSkew := stats.LoadBalance(roots)
+		t.AddRow("tapestry", fmt.Sprintf("object pointers (%d objects, n=%d)", objects, n), ptrSkew, verdict(ptrSkew))
+		t.AddRow("tapestry", "root assignments", rootSkew, verdict(rootSkew))
+		// Central directory: all load on one server by construction.
+		t.AddRow("central directory", "directory entries", float64(n), "no (single point)")
+	}})
+	return d
+}
+
+// Table1Balance (E4) — serial wrapper over table1BalanceDef.
 func Table1Balance(n, objects int, seed int64) Table {
-	t := Table{
-		Title:  "Table 1 / Balanced? column — directory-load skew (max/mean)",
-		Note:   "1.0 is perfect balance; the central directory concentrates 100% of load on one node",
-		Header: []string{"system", "metric", "max/mean", "verdict"},
-	}
-	rng := rand.New(rand.NewSource(seed))
-	tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), seed, false)
-	place := workload.UniformPlacement(objects, 1, n, rng)
-	publishTapestry(tap, place)
-	ptrs := make([]int, len(tap.nodes))
-	roots := make([]int, len(tap.nodes))
-	for i, node := range tap.nodes {
-		ptrs[i] = node.PointerCount()
-		roots[i] = node.RootCount()
-	}
-	ptrSkew := stats.LoadBalance(ptrs)
-	rootSkew := stats.LoadBalance(roots)
-	t.AddRow("tapestry", fmt.Sprintf("object pointers (%d objects, n=%d)", objects, n), ptrSkew, verdict(ptrSkew))
-	t.AddRow("tapestry", "root assignments", rootSkew, verdict(rootSkew))
-	// Central directory: all load on one server by construction.
-	t.AddRow("central directory", "directory entries", float64(n), "no (single point)")
-	return t
+	return table1BalanceDef(n, objects).Run(seed, 1)
 }
 
 func verdict(skew float64) string {

@@ -43,6 +43,10 @@ type Table struct {
 	// back[level] holds backpointers: nodes that have the owner in their
 	// level-`level` neighbor sets, keyed by ID string for determinism.
 	back []map[string]Entry
+
+	// pinned counts pinned entry instances across all sets, kept in sync by
+	// Add/Pin/Unpin/Remove so PinnedCount is O(1).
+	pinned int
 }
 
 // New creates an empty table for a node with the given ID and address. r is
@@ -95,6 +99,11 @@ func (t *Table) qualifies(level int, id ids.ID) bool {
 	return level < t.spec.Digits && ids.CommonPrefixLen(t.owner, id) >= level
 }
 
+// PinnedCount returns the number of pinned entry instances across all
+// slots — a fast-path check so multicasts can skip the in-flight-inserter
+// scan entirely when no insertion is pinned here.
+func (t *Table) PinnedCount() int { return t.pinned }
+
 // Add inserts a neighbor at the given level, keeping the set sorted by
 // distance and bounded by R (pinned entries never count against nor get
 // evicted by the bound). It returns whether the entry is now present and
@@ -112,6 +121,9 @@ func (t *Table) Add(level int, e Entry) (added bool, evicted []Entry) {
 	for i := range set {
 		if set[i].ID.Equal(e.ID) {
 			pinned := set[i].Pinned || e.Pinned
+			if pinned && !set[i].Pinned {
+				t.pinned++
+			}
 			set[i] = e
 			set[i].Pinned = pinned
 			sortEntries(set)
@@ -120,6 +132,9 @@ func (t *Table) Add(level int, e Entry) (added bool, evicted []Entry) {
 		}
 	}
 
+	if e.Pinned {
+		t.pinned++
+	}
 	set = append(set, e)
 	sortEntries(set)
 
@@ -179,6 +194,9 @@ func (t *Table) Remove(id ids.ID) (levels []int) {
 		for d := range t.sets[l] {
 			for i := range t.sets[l][d] {
 				if t.sets[l][d][i].ID.Equal(id) {
+					if t.sets[l][d][i].Pinned {
+						t.pinned--
+					}
 					t.sets[l][d] = removeAt(t.sets[l][d], i)
 					digit, found = d, true
 					break
@@ -289,6 +307,9 @@ func (t *Table) Pin(level int, id ids.ID) bool {
 	digit := id.Digit(level)
 	for i := range t.sets[level][digit] {
 		if t.sets[level][digit][i].ID.Equal(id) {
+			if !t.sets[level][digit][i].Pinned {
+				t.pinned++
+			}
 			t.sets[level][digit][i].Pinned = true
 			return true
 		}
@@ -302,6 +323,9 @@ func (t *Table) Unpin(level int, id ids.ID) (evicted []Entry) {
 	set := t.sets[level][digit]
 	for i := range set {
 		if set[i].ID.Equal(id) {
+			if set[i].Pinned {
+				t.pinned--
+			}
 			set[i].Pinned = false
 		}
 	}

@@ -331,3 +331,40 @@ func TestQuickSetInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPinnedCount(t *testing.T) {
+	tb := newTable(t)
+	if tb.PinnedCount() != 0 {
+		t.Fatalf("fresh table pinned count %d", tb.PinnedCount())
+	}
+	a, b := id(t, "1000"), id(t, "2000")
+	// New pinned entry counts once.
+	tb.Add(0, Entry{ID: a, Addr: 1, Distance: 5, Pinned: true})
+	if tb.PinnedCount() != 1 {
+		t.Fatalf("after pinned add: %d", tb.PinnedCount())
+	}
+	// Update-in-place of a pinned entry must not double-count.
+	tb.Add(0, Entry{ID: a, Addr: 1, Distance: 4, Pinned: true})
+	tb.Add(0, Entry{ID: a, Addr: 1, Distance: 3}) // unpinned update keeps the pin
+	if tb.PinnedCount() != 1 {
+		t.Fatalf("after updates: %d", tb.PinnedCount())
+	}
+	// Pin() on an existing unpinned entry counts; repeated Pin does not.
+	tb.Add(0, Entry{ID: b, Addr: 2, Distance: 7})
+	tb.Pin(0, b)
+	tb.Pin(0, b)
+	if tb.PinnedCount() != 2 {
+		t.Fatalf("after Pin: %d", tb.PinnedCount())
+	}
+	// Unpin decrements once per flip.
+	tb.Unpin(0, b)
+	tb.Unpin(0, b)
+	if tb.PinnedCount() != 1 {
+		t.Fatalf("after Unpin: %d", tb.PinnedCount())
+	}
+	// Remove of a pinned entry decrements.
+	tb.Remove(a)
+	if tb.PinnedCount() != 0 {
+		t.Fatalf("after Remove: %d", tb.PinnedCount())
+	}
+}

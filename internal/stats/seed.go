@@ -1,0 +1,35 @@
+package stats
+
+// Deterministic RNG-stream derivation for the experiment engine.
+//
+// Experiments used to spread one base seed across their internal RNGs with
+// ad-hoc arithmetic (seed+7, seed*3, ...). Those offsets alias: with base
+// seeds s and s' the streams (s+7) and (s'*3) coincide whenever s+7 == 3s',
+// silently correlating experiments that are supposed to be independent.
+// StreamSeed instead hashes (base seed, label, index) through SplitMix64, so
+// every (experiment, cell, purpose) triple gets its own far-apart stream and
+// the same triple always gets the same one.
+
+// SplitMix64 is the finalizer of Steele et al.'s SplitMix generator: a
+// bijective avalanche mix on 64 bits. Distinct inputs give distinct outputs.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// StreamSeed derives an independent seed for the RNG stream identified by
+// (label, index) under the given base seed. Labels are typically an
+// experiment name ("SurrogateOverhead") or a purpose within a cell
+// ("build", "queries"); index distinguishes cells of the same experiment.
+func StreamSeed(base int64, label string, index int) int64 {
+	h := SplitMix64(uint64(base))
+	for _, b := range []byte(label) {
+		h = SplitMix64(h ^ uint64(b))
+	}
+	h = SplitMix64(h ^ uint64(uint32(index)))
+	// Keep the sign bit clear so callers can treat the seed as an offset or
+	// print it without surprises; 63 bits of stream space is plenty.
+	return int64(h &^ (1 << 63))
+}
