@@ -11,9 +11,12 @@ package tapestry
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"tapestry/internal/expt"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
 )
 
 // logOnce prints the experiment table on the first iteration only.
@@ -225,5 +228,95 @@ func BenchmarkOpMaintenanceEpoch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw.RunMaintenance()
+	}
+}
+
+// --- Substrate micro-benchmarks: the lock-free/on-demand hot paths --------
+
+// BenchmarkNetSend measures the netsim hot path (cost accounting + liveness
+// check) under full parallelism — the path every simulated message takes.
+func BenchmarkNetSend(b *testing.B) {
+	n := netsim.New(metric.NewRing(4096))
+	for a := 0; a < 4096; a++ {
+		n.Attach(netsim.Addr(a))
+	}
+	var cost netsim.Cost
+	b.RunParallel(func(pb *testing.PB) {
+		a := netsim.Addr(0)
+		for pb.Next() {
+			_ = n.Send(a, (a+17)%4096, &cost, true)
+			a = (a + 1) % 4096
+		}
+	})
+}
+
+// BenchmarkCostAdd measures contention on one shared Cost ledger.
+func BenchmarkCostAdd(b *testing.B) {
+	var cost netsim.Cost
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			cost.Add(1.5, true)
+		}
+	})
+}
+
+// BenchmarkNetAlive measures the liveness bitset read path.
+func BenchmarkNetAlive(b *testing.B) {
+	n := netsim.New(metric.NewRing(4096))
+	for a := 0; a < 4096; a += 2 {
+		n.Attach(netsim.Addr(a))
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		a := netsim.Addr(0)
+		for pb.Next() {
+			_ = n.Alive(a)
+			a = (a + 1) % 4096
+		}
+	})
+}
+
+// BenchmarkSpaceDistance measures Space.Distance across representations:
+// lattice (ring), point cloud, graph metric as a materialised matrix, and
+// the same graph size as an on-demand space (cache-hot after one pass).
+func BenchmarkSpaceDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	spaces := map[string]metric.Space{
+		"ring":         metric.NewRing(4096),
+		"cloud":        metric.NewUniformCloud(4096, rng),
+		"graph-dense":  metric.NewRandomGraph(1024, 3, 10, rng),
+		"graph-lazy":   metric.NewRandomGraph(4096, 3, 10, rng),
+		"transit-stub": metric.NewTransitStub(metric.ScaledTransitStub(4096), rng),
+	}
+	for _, name := range []string{"ring", "cloud", "graph-dense", "graph-lazy", "transit-stub"} {
+		s := spaces[name]
+		b.Run(name, func(b *testing.B) {
+			n := s.Size()
+			// Touch a bounded source set first so the lazy representations
+			// measure steady-state (cached-row) reads, not Dijkstra.
+			for i := 0; i < 64; i++ {
+				_ = s.Distance(i, n-1-i)
+			}
+			b.ResetTimer()
+			j := 0
+			for i := 0; i < b.N; i++ {
+				_ = s.Distance(i&63, j)
+				j++
+				if j == n {
+					j = 0
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLiveCount measures the O(1) maintained live count (formerly an
+// O(n) scan under a read lock).
+func BenchmarkLiveCount(b *testing.B) {
+	n := netsim.New(metric.NewRing(4096))
+	for a := 0; a < 4096; a += 2 {
+		n.Attach(netsim.Addr(a))
+	}
+	for i := 0; i < b.N; i++ {
+		_ = n.LiveCount()
 	}
 }

@@ -24,11 +24,13 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sizes for a fast run")
-	run := flag.String("run", "", "run experiments matching this id/name regexp (e.g. E5, Table1.*)")
+	run := flag.String("run", "", "run experiments matching this id/name regexp (e.g. E5, E-scale, Table1.*)")
 	only := flag.String("only", "", "deprecated alias for -run")
 	seed := flag.Int64("seed", 1, "base RNG seed; per-cell streams are derived from it")
 	workers := flag.Int("workers", 0, "experiment cells run in parallel (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "output format: table | json | csv")
+	scalePoints := flag.Int("scale-points", 0, "E-scale: metric-space points of the full churn cell (0 = params default)")
+	scaleNodes := flag.Int("scale-nodes", 0, "E-scale: initial overlay population (0 = params default)")
 	flag.Parse()
 
 	pattern := *run
@@ -38,6 +40,12 @@ func main() {
 	params := expt.DefaultParams()
 	if *quick {
 		params = expt.QuickParams()
+	}
+	if *scalePoints > 0 {
+		params.ScalePoints = *scalePoints
+	}
+	if *scaleNodes > 0 {
+		params.ScaleNodes = *scaleNodes
 	}
 
 	r := expt.Runner{Seed: *seed, Workers: *workers, Params: params}

@@ -39,10 +39,12 @@ func main() {
 	quick := flag.Bool("quick", false, "with -run: reduced experiment sizes")
 	workers := flag.Int("workers", 0, "with -run: experiment cells run in parallel (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "output format: table | json | csv")
+	scalePoints := flag.Int("scale-points", 0, "with -run E-scale: metric-space points of the full churn cell; without -run: transit-stub size override (0 = auto)")
+	scaleNodes := flag.Int("scale-nodes", 0, "with -run E-scale: initial overlay population (0 = params default)")
 	flag.Parse()
 
 	if *run != "" {
-		runExperiments(*run, *quick, *seed, *workers, *format)
+		runExperiments(*run, *quick, *seed, *workers, *format, *scalePoints, *scaleNodes)
 		return
 	}
 
@@ -58,7 +60,14 @@ func main() {
 	case "graph":
 		space = tapestry.RandomGraphSpace(2**n, 3, *seed)
 	case "transitstub":
-		space = tapestry.TransitStubSpace(*seed)
+		// Size the substrate to the overlay unless explicitly overridden;
+		// above metric.DenseLimit points the space is computed on demand, so
+		// tens of thousands of points stay cheap.
+		points := 4 * *n
+		if *scalePoints > 0 {
+			points = *scalePoints
+		}
+		space = tapestry.ScaledTransitStubSpace(points, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown space %q\n", *spaceKind)
 		os.Exit(2)
@@ -138,10 +147,16 @@ func main() {
 }
 
 // runExperiments reproduces paper tables through the shared registry engine.
-func runExperiments(pattern string, quick bool, seed int64, workers int, format string) {
+func runExperiments(pattern string, quick bool, seed int64, workers int, format string, scalePoints, scaleNodes int) {
 	params := expt.DefaultParams()
 	if quick {
 		params = expt.QuickParams()
+	}
+	if scalePoints > 0 {
+		params.ScalePoints = scalePoints
+	}
+	if scaleNodes > 0 {
+		params.ScaleNodes = scaleNodes
 	}
 	r := expt.Runner{Seed: seed, Workers: workers, Params: params}
 	if err := r.RunAndEmit(os.Stdout, pattern, format); err != nil {

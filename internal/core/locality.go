@@ -2,7 +2,6 @@ package core
 
 import (
 	"tapestry/internal/ids"
-	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
 )
@@ -15,16 +14,17 @@ import (
 // rooted at a stub-local surrogate; queries try the stub-restricted route
 // first and resume wide-area routing only on a local miss.
 //
-// The stub oracle is the Region labelling of metric.Dense (the transit-stub
-// generator populates it); in deployments the paper suggests approximating
-// it with a latency threshold.
+// The stub oracle is the metric's region labelling (metric.Regions; the
+// transit-stub generator populates it for both the matrix and the on-demand
+// representation); in deployments the paper suggests approximating it with a
+// latency threshold.
 
 // regionOf returns the locality region of an address, or -1 when the metric
 // has no region structure (transit routers also report -1: they belong to
-// the wide area).
+// the wide area). The labelling is cached on the Mesh at construction.
 func (m *Mesh) regionOf(a netsim.Addr) int {
-	if d, ok := m.net.Space().(*metric.Dense); ok && len(d.Region) > 0 {
-		return d.Region[a]
+	if len(m.regions) > 0 {
+		return m.regions[a]
 	}
 	return -1
 }

@@ -20,9 +20,10 @@ func buildStubMesh(t testing.TB, seed int64) (*Mesh, map[int][]*Node) {
 		t.Fatal(err)
 	}
 	// Host nodes on every stub point (skip transit routers: region -1).
+	labels := metric.Regions(ts)
 	var addrs []netsim.Addr
 	for a := 0; a < ts.Size(); a++ {
-		if ts.Region[a] >= 0 {
+		if labels[a] >= 0 {
 			addrs = append(addrs, netsim.Addr(a))
 		}
 	}
@@ -55,7 +56,7 @@ func TestLocalLocateNeverLeavesStub(t *testing.T) {
 	if err := server.PublishLocal(guid, nil); err != nil {
 		t.Fatal(err)
 	}
-	ts := m.Net().Space().(*metric.Dense)
+	ts := m.Net().Space()
 	intraMax := 0.0
 	for _, a := range members {
 		for _, b := range members {

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"tapestry/internal/ids"
+	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
 )
@@ -172,6 +173,11 @@ type Mesh struct {
 	cfg Config
 	net *netsim.Network
 
+	// regions caches the metric's locality labelling (stub domains) at
+	// construction, so the per-hop region lookups of the Section 6.3 paths
+	// are an index into a slice regardless of the metric representation.
+	regions []int
+
 	mu     sync.RWMutex
 	byID   map[string]*Node
 	byAddr map[netsim.Addr]*Node
@@ -187,11 +193,12 @@ func NewMesh(net *netsim.Network, cfg Config) (*Mesh, error) {
 		return nil, err
 	}
 	return &Mesh{
-		cfg:    cfg,
-		net:    net,
-		byID:   make(map[string]*Node),
-		byAddr: make(map[netsim.Addr]*Node),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		net:     net,
+		regions: metric.Regions(net.Space()),
+		byID:    make(map[string]*Node),
+		byAddr:  make(map[netsim.Addr]*Node),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
 }
 

@@ -569,9 +569,10 @@ func stubLocalityDef() Def {
 		if err != nil {
 			panic(err)
 		}
+		labels := metric.Regions(ts)
 		var addrs []netsim.Addr
 		for a := 0; a < ts.Size(); a++ {
-			if ts.Region[a] >= 0 {
+			if labels[a] >= 0 {
 				addrs = append(addrs, netsim.Addr(a))
 			}
 		}
@@ -581,7 +582,7 @@ func stubLocalityDef() Def {
 		}
 		byRegion := map[int][]*core.Node{}
 		for _, n := range nodes {
-			byRegion[ts.Region[n.Addr()]] = append(byRegion[ts.Region[n.Addr()]], n)
+			byRegion[labels[n.Addr()]] = append(byRegion[labels[n.Addr()]], n)
 		}
 		var regions []int
 		for r, ms := range byRegion {

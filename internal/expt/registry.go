@@ -15,6 +15,14 @@ type Params struct {
 	NNSize    int   // network size for nearest-neighbor / churn experiments
 	StretchN  int   // network size for stretch and ablation experiments
 	BalanceN  int   // network size for the load-balance experiment
+
+	// E-scale (substrate-scale churn) knobs: metric-space points of the full
+	// cell (the quarter-scale cell uses ScalePoints/4), initial overlay
+	// population, churn epochs, and Zipf queries per epoch.
+	ScalePoints  int
+	ScaleNodes   int
+	ScaleEpochs  int
+	ScaleQueries int
 }
 
 // DefaultParams reproduces the paper-comparable scale.
@@ -27,6 +35,11 @@ func DefaultParams() Params {
 		NNSize:    256,
 		StretchN:  512,
 		BalanceN:  512,
+
+		ScalePoints:  50000,
+		ScaleNodes:   1024,
+		ScaleEpochs:  6,
+		ScaleQueries: 1024,
 	}
 }
 
@@ -40,6 +53,11 @@ func QuickParams() Params {
 		NNSize:    64,
 		StretchN:  128,
 		BalanceN:  128,
+
+		ScalePoints:  2600, // above metric.DenseLimit: the on-demand path stays exercised
+		ScaleNodes:   96,
+		ScaleEpochs:  3,
+		ScaleQueries: 128,
 	}
 }
 
@@ -74,6 +92,9 @@ var registry = []Experiment{
 	{"E14", "GeneralMetric", func(p Params) Def { return generalMetricDef([]int{64, 128, 256, 512}) }},
 	{"E15", "MultiRoot", func(p Params) Def { return multiRootDef(p.StretchN, []int{1, 2, 4}, 0.15) }},
 	{"E16", "ContinualOptimization", func(p Params) Def { return continualOptimizationDef(p.NNSize) }},
+	{"E-scale", "ScaleChurn", func(p Params) Def {
+		return scaleChurnDef(p.ScalePoints, p.ScaleNodes, p.ScaleEpochs, p.ScaleQueries)
+	}},
 	{"A1", "AblationSurrogate", func(p Params) Def { return ablationSurrogateDef(p.StretchN) }},
 	{"A2", "AblationR", func(p Params) Def { return ablationRDef(p.StretchN, []int{2, 3, 4}) }},
 	{"A3", "AblationBase", func(p Params) Def { return ablationBaseDef(p.StretchN, []int{4, 8, 16, 32}) }},

@@ -16,6 +16,11 @@ func smallParams() Params {
 		NNSize:    32,
 		StretchN:  48,
 		BalanceN:  48,
+
+		ScalePoints:  600,
+		ScaleNodes:   32,
+		ScaleEpochs:  2,
+		ScaleQueries: 32,
 	}
 }
 
@@ -55,11 +60,11 @@ func TestRunnerRace(t *testing.T) {
 	}
 	p := smallParams()
 	r := Runner{Seed: 7, Workers: 8, Params: p}
-	results, err := r.RunMatching("E0|E6|E7|E9|E10|A3")
+	results, err := r.RunMatching("E0|E6|E7|E9|E10|E-scale|A3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 6 {
+	if len(results) != 7 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, res := range results {

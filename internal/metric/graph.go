@@ -86,7 +86,22 @@ func (h *distHeap) Pop() interface{} {
 // graph: a Hamiltonian cycle (guaranteeing connectivity) plus extraDegree·n/2
 // random chords, with edge weights uniform in [1, maxW). Such metrics are
 // generally NOT growth-restricted and exercise the Section 7 scheme.
-func NewRandomGraph(n, extraDegree int, maxW float64, rng *rand.Rand) *Dense {
+//
+// Up to DenseLimit points the result is a materialised *Dense matrix; above
+// it, an on-demand *GraphSpace (identical distances, O(n)-scale memory).
+func NewRandomGraph(n, extraDegree int, maxW float64, rng *rand.Rand) Space {
+	g := buildRandomGraph(n, extraDegree, maxW, rng)
+	name := fmt.Sprintf("randgraph(n=%d,deg=%d)", n, extraDegree)
+	if n <= DenseLimit {
+		return g.apsp(name)
+	}
+	return newGraphSpace(g, name, nil)
+}
+
+// buildRandomGraph constructs the adjacency list behind NewRandomGraph; the
+// representation choice (matrix vs on-demand) never changes the topology or
+// the RNG stream.
+func buildRandomGraph(n, extraDegree int, maxW float64, rng *rand.Rand) *graph {
 	if n < 3 {
 		panic("metric: random graph needs n >= 3")
 	}
@@ -100,7 +115,7 @@ func NewRandomGraph(n, extraDegree int, maxW float64, rng *rand.Rand) *Dense {
 			g.addEdge(a, b, 1+rng.Float64()*(maxW-1))
 		}
 	}
-	return g.apsp(fmt.Sprintf("randgraph(n=%d,deg=%d)", n, extraDegree))
+	return g
 }
 
 // TransitStubParams shapes a transit-stub topology in the style of Zegura,
@@ -137,11 +152,42 @@ func (p TransitStubParams) NodeCount() int {
 	return transit + transit*p.StubsPerTransit*p.StubSize
 }
 
+// ScaledTransitStub derives transit-stub parameters whose point count is at
+// least `points`. Stubs first grow to a locality-meaningful ceiling of 32
+// hosts; beyond that the transit backbone grows instead (8 stubs of 32 hosts
+// per router), so a 50k-point request yields ~200 routers over ~1500 stubs
+// rather than a handful of giant stubs. For points at or below the default
+// topology's size it returns DefaultTransitStub unchanged.
+func ScaledTransitStub(points int) TransitStubParams {
+	p := DefaultTransitStub()
+	if points <= p.NodeCount() {
+		return p
+	}
+	transit := p.TransitDomains * p.TransitPerDom
+	stubs := transit * p.StubsPerTransit
+	if size := (points - transit + stubs - 1) / stubs; size <= 32 {
+		p.StubSize = size
+		return p
+	}
+	p.StubsPerTransit = 8
+	p.StubSize = 32
+	perRouter := 1 + p.StubsPerTransit*p.StubSize
+	transit = (points + perRouter - 1) / perRouter
+	p.TransitDomains = (transit + p.TransitPerDom - 1) / p.TransitPerDom
+	if p.TransitDomains < 2 {
+		p.TransitDomains = 2
+	}
+	return p
+}
+
 // NewTransitStub builds the shortest-path metric of a transit-stub topology.
-// The resulting Dense has Region populated: transit routers get region -1,
-// and every stub host is labelled with its stub domain index, enabling the
-// Section 6.3 locality experiments ("never leave the stub").
-func NewTransitStub(p TransitStubParams, rng *rand.Rand) *Dense {
+// The space has Region populated (see Regions): transit routers get region
+// -1, and every stub host is labelled with its stub domain index, enabling
+// the Section 6.3 locality experiments ("never leave the stub").
+//
+// Up to DenseLimit points the result is a materialised *Dense matrix; above
+// it, an on-demand *GraphSpace (identical distances, O(n)-scale memory).
+func NewTransitStub(p TransitStubParams, rng *rand.Rand) Space {
 	if p.TransitDomains < 1 || p.TransitPerDom < 1 || p.StubsPerTransit < 0 || p.StubSize < 1 {
 		panic("metric: invalid transit-stub parameters")
 	}
@@ -196,9 +242,13 @@ func NewTransitStub(p TransitStubParams, rng *rand.Rand) *Dense {
 		}
 	}
 
-	d := g.apsp(fmt.Sprintf("transitstub(n=%d)", n))
-	d.Region = region
-	return d
+	name := fmt.Sprintf("transitstub(n=%d)", n)
+	if n <= DenseLimit {
+		d := g.apsp(name)
+		d.Region = region
+		return d
+	}
+	return newGraphSpace(g, name, region)
 }
 
 // NewUniformCloud places n points uniformly at random on the unit 2-torus.

@@ -125,18 +125,19 @@ func TestTransitStubStructure(t *testing.T) {
 	if ts.Size() != p.NodeCount() {
 		t.Fatalf("size %d, want %d", ts.Size(), p.NodeCount())
 	}
-	if len(ts.Region) != ts.Size() {
+	labels := Regions(ts)
+	if len(labels) != ts.Size() {
 		t.Fatal("region labels missing")
 	}
 	transit := p.TransitDomains * p.TransitPerDom
 	for i := 0; i < transit; i++ {
-		if ts.Region[i] != -1 {
-			t.Fatalf("transit node %d mislabelled %d", i, ts.Region[i])
+		if labels[i] != -1 {
+			t.Fatalf("transit node %d mislabelled %d", i, labels[i])
 		}
 	}
 	// Every stub domain has exactly StubSize members.
 	counts := map[int]int{}
-	for _, r := range ts.Region[transit:] {
+	for _, r := range labels[transit:] {
 		counts[r]++
 	}
 	wantStubs := transit * p.StubsPerTransit
@@ -153,6 +154,7 @@ func TestTransitStubStructure(t *testing.T) {
 func TestTransitStubLatencySeparation(t *testing.T) {
 	p := DefaultTransitStub()
 	ts := NewTransitStub(p, rand.New(rand.NewSource(3)))
+	labels := Regions(ts)
 	transit := p.TransitDomains * p.TransitPerDom
 	// Average intra-stub distance should be far below average cross-stub
 	// distance (the order-of-magnitude gap Section 6.3 exploits).
@@ -163,7 +165,7 @@ func TestTransitStubLatencySeparation(t *testing.T) {
 			if i == j {
 				continue
 			}
-			if ts.Region[i] == ts.Region[j] {
+			if labels[i] == labels[j] {
 				intra += ts.Distance(i, j)
 				nIntra++
 			} else {

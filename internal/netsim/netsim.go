@@ -17,7 +17,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"math"
 	"sync/atomic"
 
 	"tapestry/internal/metric"
@@ -33,11 +33,17 @@ var ErrUnreachable = errors.New("netsim: destination unreachable")
 // Cost accumulates the expense of one logical operation (a lookup, a join,
 // a multicast...). A nil *Cost is valid everywhere and records nothing,
 // which keeps hot paths free of conditionals at call sites.
+//
+// All counters are lock-free atomics — concurrent adders never contend on a
+// mutex — with the metric distance accumulated as a CAS loop over the
+// float64 bit pattern. Snapshot is consistent per field; when readers need a
+// single coherent triple they must quiesce the writers first, which every
+// caller in this repository does anyway (costs are read after the operation
+// completes).
 type Cost struct {
-	mu       sync.Mutex
-	messages int
-	hops     int
-	distance float64
+	messages atomic.Int64
+	hops     atomic.Int64
+	distance atomic.Uint64 // float64 bit pattern
 }
 
 // Add charges one message of the given distance; hop indicates whether the
@@ -47,13 +53,25 @@ func (c *Cost) Add(distance float64, hop bool) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.messages++
+	c.messages.Add(1)
 	if hop {
-		c.hops++
+		c.hops.Add(1)
 	}
-	c.distance += distance
-	c.mu.Unlock()
+	c.addDistance(distance)
+}
+
+// addDistance folds d into the running float64 total with a CAS loop.
+func (c *Cost) addDistance(d float64) {
+	if d == 0 {
+		return
+	}
+	for {
+		old := c.distance.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.distance.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Merge folds other into c (used when a sub-operation keeps its own ledger).
@@ -62,21 +80,18 @@ func (c *Cost) Merge(other *Cost) {
 		return
 	}
 	m, h, d := other.Snapshot()
-	c.mu.Lock()
-	c.messages += m
-	c.hops += h
-	c.distance += d
-	c.mu.Unlock()
+	c.messages.Add(int64(m))
+	c.hops.Add(int64(h))
+	c.addDistance(d)
 }
 
-// Snapshot returns (messages, hops, distance) atomically.
+// Snapshot returns (messages, hops, distance); each field is read
+// atomically.
 func (c *Cost) Snapshot() (messages, hops int, distance float64) {
 	if c == nil {
 		return 0, 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.messages, c.hops, c.distance
+	return int(c.messages.Load()), int(c.hops.Load()), math.Float64frombits(c.distance.Load())
 }
 
 // Messages returns the message count so far.
@@ -95,11 +110,16 @@ func (c *Cost) String() string {
 
 // Network is the simulated substrate shared by all overlay nodes of one
 // experiment.
+//
+// Liveness is a word-packed atomic bitset with a maintained live count, so
+// the Send/Alive hot path and LiveCount are lock-free: concurrent sends,
+// attaches and detaches never serialise on a network-wide lock.
 type Network struct {
 	space metric.Space
+	size  int
 
-	mu   sync.RWMutex
-	live []bool
+	live      []atomic.Uint64 // bit a&63 of word a>>6 = address a is attached
+	liveCount atomic.Int64
 
 	totalMessages atomic.Int64
 	epoch         atomic.Int64
@@ -108,7 +128,20 @@ type Network struct {
 // New creates a network over the given metric space with all addresses
 // initially unattached.
 func New(space metric.Space) *Network {
-	return &Network{space: space, live: make([]bool, space.Size())}
+	return &Network{
+		space: space,
+		size:  space.Size(),
+		live:  make([]atomic.Uint64, (space.Size()+63)/64),
+	}
+}
+
+// checkAddr preserves the bounds panic of a plain slice index: the last
+// bitset word is padded, so without it an out-of-range address would
+// silently set or read a phantom bit instead of failing at the faulty call.
+func (n *Network) checkAddr(a Addr) {
+	if a < 0 || int(a) >= n.size {
+		panic(fmt.Sprintf("netsim: address %d out of range [0,%d)", a, n.size))
+	}
 }
 
 // Space returns the underlying metric space.
@@ -124,37 +157,52 @@ func (n *Network) Distance(a, b Addr) float64 {
 
 // Attach marks an address as hosting a live overlay node.
 func (n *Network) Attach(a Addr) {
-	n.mu.Lock()
-	n.live[a] = true
-	n.mu.Unlock()
+	n.setLive(a, true)
 }
 
 // Detach marks an address as no longer hosting a node (voluntary departure
 // or failure — the network does not distinguish; the overlay does).
 func (n *Network) Detach(a Addr) {
-	n.mu.Lock()
-	n.live[a] = false
-	n.mu.Unlock()
+	n.setLive(a, false)
+}
+
+// setLive flips address a's liveness bit with a CAS loop and maintains the
+// live count; a no-op transition (already in the desired state) leaves the
+// count untouched, so Attach/Detach are idempotent.
+func (n *Network) setLive(a Addr, up bool) {
+	n.checkAddr(a)
+	w := &n.live[a>>6]
+	mask := uint64(1) << (uint(a) & 63)
+	for {
+		old := w.Load()
+		next := old | mask
+		if !up {
+			next = old &^ mask
+		}
+		if next == old {
+			return
+		}
+		if w.CompareAndSwap(old, next) {
+			if up {
+				n.liveCount.Add(1)
+			} else {
+				n.liveCount.Add(-1)
+			}
+			return
+		}
+	}
 }
 
 // Alive reports whether the address currently hosts a live node.
 func (n *Network) Alive(a Addr) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.live[a]
+	n.checkAddr(a)
+	return n.live[a>>6].Load()&(uint64(1)<<(uint(a)&63)) != 0
 }
 
-// LiveCount returns the number of attached addresses.
+// LiveCount returns the number of attached addresses (O(1): the count is
+// maintained on every liveness transition, not recounted).
 func (n *Network) LiveCount() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	c := 0
-	for _, l := range n.live {
-		if l {
-			c++
-		}
-	}
-	return c
+	return int(n.liveCount.Load())
 }
 
 // Send charges one message from a to b. It fails if b is not alive, after

@@ -111,6 +111,92 @@ func TestCostConcurrent(t *testing.T) {
 	}
 }
 
+// TestLivenessConcurrent races attaches, detaches, sends and live counts on
+// the lock-free bitset; the maintained count must end exact, and -race must
+// stay silent.
+func TestLivenessConcurrent(t *testing.T) {
+	n := New(metric.NewRing(512))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns a disjoint 63-address range so the final state
+			// is known — but 63 is deliberately NOT word-aligned, so adjacent
+			// workers hammer the same bitset words and the CAS loop really
+			// contends.
+			base := Addr(w * 63)
+			for r := 0; r < 50; r++ {
+				for a := Addr(0); a < 63; a++ {
+					n.Attach(base + a)
+					n.Attach(base + a) // idempotent: must not double-count
+				}
+				for a := Addr(0); a < 63; a++ {
+					_ = n.Alive(base + a)
+					_ = n.Send(base, base+a, nil, false)
+				}
+				_ = n.LiveCount()
+				for a := Addr(32); a < 63; a++ {
+					n.Detach(base + a)
+					n.Detach(base + a)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := n.LiveCount(); got != 8*32 {
+		t.Errorf("LiveCount = %d after concurrent churn, want %d", got, 8*32)
+	}
+	for w := 0; w < 8; w++ {
+		if !n.Alive(Addr(w*63)) || n.Alive(Addr(w*63+62)) {
+			t.Fatalf("worker %d range in wrong state", w)
+		}
+	}
+}
+
+// TestAddrBoundsPanic pins the padded-word guard: addresses beyond the space
+// must fail at the call site, not set phantom bits in the last bitset word.
+func TestAddrBoundsPanic(t *testing.T) {
+	n := New(metric.NewRing(100)) // 2 words = 128 bits for 100 addresses
+	for name, f := range map[string]func(){
+		"attach": func() { n.Attach(120) },
+		"alive":  func() { n.Alive(120) },
+		"detach": func() { n.Detach(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected out-of-range panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if n.LiveCount() != 0 {
+		t.Error("failed operations must not touch the live count")
+	}
+}
+
+// TestCostConcurrentDistance checks the CAS accumulation of the float64
+// distance: integral increments concurrently summed must land exactly.
+func TestCostConcurrentDistance(t *testing.T) {
+	var c Cost
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(2.5, false)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Distance(); got != 8*1000*2.5 {
+		t.Errorf("concurrent distance = %g, want %g", got, 8*1000*2.5)
+	}
+}
+
 func TestEpochs(t *testing.T) {
 	n := newNet()
 	if n.Epoch() != 0 {

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -18,22 +19,28 @@ type Placement struct {
 }
 
 // UniformPlacement places `objects` objects, each with `replicas` copies on
-// distinct servers drawn uniformly from n nodes.
+// distinct servers drawn uniformly from n nodes. Distinctness comes from a
+// partial Fisher–Yates shuffle over one reusable index slice — no per-object
+// map allocation and no rejection loop, so large placements are O(objects ×
+// replicas) plus one O(n) setup.
 func UniformPlacement(objects, replicas, n int, rng *rand.Rand) Placement {
 	if replicas > n {
 		panic("workload: more replicas than nodes")
 	}
 	p := Placement{Servers: make([][]int, objects), Names: make([]string, objects)}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
 	for i := 0; i < objects; i++ {
 		p.Names[i] = fmt.Sprintf("object-%06d", i)
-		seen := map[int]bool{}
-		for len(p.Servers[i]) < replicas {
-			s := rng.Intn(n)
-			if !seen[s] {
-				seen[s] = true
-				p.Servers[i] = append(p.Servers[i], s)
-			}
+		servers := make([]int, replicas)
+		for k := 0; k < replicas; k++ {
+			j := k + rng.Intn(n-k)
+			idx[k], idx[j] = idx[j], idx[k]
+			servers[k] = idx[k]
 		}
+		p.Servers[i] = servers
 	}
 	return p
 }
@@ -72,6 +79,9 @@ func ZipfQueries(q, nClients, nObjects int, s float64, rng *rand.Rand) QueryMix 
 // ChurnOp is one membership event.
 type ChurnOp struct {
 	Join bool
+	// Crash marks a departure as involuntary (the node dies without running
+	// the voluntary-delete protocol); meaningful when Join is false.
+	Crash bool
 	// Victim selects which current member leaves (index into the live set,
 	// modulo its size at execution time); meaningful when Join is false.
 	Victim int
@@ -97,4 +107,71 @@ func ChurnSchedule(joins, leaves int, rng *rand.Rand) []ChurnOp {
 		}
 	}
 	return ops
+}
+
+// PoissonChurn draws a per-epoch churn schedule: each epoch gets
+// Poisson(joinMean) joins, Poisson(leaveMean) voluntary leaves and
+// Poisson(crashMean) crashes, shuffled together. Departures are capped so
+// the planned population (starting from `population`) never drops below
+// minPopulation — the guard is on the plan; executors additionally bound
+// victims by the live set at execution time. Everything is driven by the
+// explicit RNG, so schedules replay exactly.
+func PoissonChurn(epochs int, population, minPopulation int, joinMean, leaveMean, crashMean float64, rng *rand.Rand) [][]ChurnOp {
+	if minPopulation < 1 {
+		minPopulation = 1
+	}
+	if population < minPopulation {
+		panic("workload: population below minimum")
+	}
+	sched := make([][]ChurnOp, epochs)
+	pop := population
+	for e := range sched {
+		joins := poisson(joinMean, rng)
+		leaves := poisson(leaveMean, rng)
+		crashes := poisson(crashMean, rng)
+		for pop+joins-leaves-crashes < minPopulation && leaves+crashes > 0 {
+			// Shed planned departures fairly until the floor holds.
+			if leaves >= crashes {
+				leaves--
+			} else {
+				crashes--
+			}
+		}
+		ops := make([]ChurnOp, 0, joins+leaves+crashes)
+		for i := 0; i < joins; i++ {
+			ops = append(ops, ChurnOp{Join: true})
+		}
+		for i := 0; i < leaves; i++ {
+			ops = append(ops, ChurnOp{Victim: rng.Intn(1 << 30)})
+		}
+		for i := 0; i < crashes; i++ {
+			ops = append(ops, ChurnOp{Crash: true, Victim: rng.Intn(1 << 30)})
+		}
+		rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+		sched[e] = ops
+		pop += joins - leaves - crashes
+	}
+	return sched
+}
+
+// poisson samples Poisson(mean) by Knuth's product-of-uniforms method.
+// Large means are split recursively — the sum of independent Poisson(m/2)
+// draws is exactly Poisson(m) — so exp(-mean) stays far from the underflow
+// that would otherwise silently cap every draw near 745.
+func poisson(mean float64, rng *rand.Rand) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 32 {
+		return poisson(mean/2, rng) + poisson(mean/2, rng)
+	}
+	limit := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
 }

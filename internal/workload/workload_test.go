@@ -69,6 +69,64 @@ func TestZipfQueriesSkewed(t *testing.T) {
 	ZipfQueries(1, 1, 2, 1.0, rng)
 }
 
+func TestUniformPlacementDeterministic(t *testing.T) {
+	a := UniformPlacement(50, 4, 200, rand.New(rand.NewSource(9)))
+	b := UniformPlacement(50, 4, 200, rand.New(rand.NewSource(9)))
+	for i := range a.Servers {
+		for k := range a.Servers[i] {
+			if a.Servers[i][k] != b.Servers[i][k] {
+				t.Fatal("same seed must give the same placement")
+			}
+		}
+	}
+}
+
+func TestPoissonChurnInvariants(t *testing.T) {
+	f := func(seed int64, popRaw, epochRaw uint8) bool {
+		pop := int(popRaw)%100 + 20
+		epochs := int(epochRaw)%8 + 1
+		minPop := pop / 2
+		sched := PoissonChurn(epochs, pop, minPop, 4, 2, 2, rand.New(rand.NewSource(seed)))
+		if len(sched) != epochs {
+			return false
+		}
+		p := pop
+		for _, ops := range sched {
+			for _, op := range ops {
+				if op.Join {
+					p++
+				} else {
+					p--
+					if op.Crash && op.Victim < 0 {
+						return false
+					}
+				}
+			}
+			// The plan keeps the end-of-epoch population at or above the floor.
+			if p < minPop {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Zero rates yield empty epochs; the schedule shape is still correct.
+	empty := PoissonChurn(3, 10, 1, 0, 0, 0, rand.New(rand.NewSource(1)))
+	for _, ops := range empty {
+		if len(ops) != 0 {
+			t.Error("zero-rate epochs must be empty")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when population < minimum")
+		}
+	}()
+	PoissonChurn(1, 1, 5, 1, 1, 1, rand.New(rand.NewSource(1)))
+}
+
 func TestChurnScheduleInvariant(t *testing.T) {
 	f := func(seed int64, jRaw, lRaw uint8) bool {
 		joins := int(jRaw)%20 + 1
@@ -99,4 +157,21 @@ func TestChurnScheduleInvariant(t *testing.T) {
 		}
 	}()
 	ChurnSchedule(1, 2, rand.New(rand.NewSource(1)))
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	// Means past exp-underflow (~745) must still track the requested rate
+	// instead of silently capping; the splitting rule keeps the sampler
+	// exact at any scale.
+	rng := rand.New(rand.NewSource(4))
+	const mean = 2000.0
+	total := 0.0
+	const draws = 200
+	for i := 0; i < draws; i++ {
+		total += float64(poisson(mean, rng))
+	}
+	got := total / draws
+	if got < mean*0.95 || got > mean*1.05 {
+		t.Errorf("poisson(%g) sample mean %g, want within 5%%", mean, got)
+	}
 }

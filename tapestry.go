@@ -56,6 +56,15 @@ func TransitStubSpace(seed int64) Space {
 	return metric.NewTransitStub(metric.DefaultTransitStub(), rand.New(rand.NewSource(seed)))
 }
 
+// ScaledTransitStubSpace returns a transit-stub space with at least the
+// given number of points. Above metric.DenseLimit points the space is backed
+// by the on-demand shortest-path representation (adjacency lists plus a
+// bounded per-source row cache) instead of an n×n matrix, so substrates of
+// 50k–100k points fit in hundreds of MB rather than tens of GB.
+func ScaledTransitStubSpace(points int, seed int64) Space {
+	return metric.NewTransitStub(metric.ScaledTransitStub(points), rand.New(rand.NewSource(seed)))
+}
+
 // Cost is the expense ledger of one operation: messages, application-level
 // hops, and total metric distance.
 type Cost struct {
@@ -161,8 +170,8 @@ func (nw *Network) TotalMessages() int64 { return nw.sim.TotalMessages() }
 // metric space, or -1 when the space has no region structure (only
 // transit-stub spaces label regions; transit routers are -1 too).
 func (nw *Network) RegionOf(addr int) int {
-	if d, ok := nw.sim.Space().(*metric.Dense); ok && len(d.Region) > 0 {
-		return d.Region[addr]
+	if r := metric.Regions(nw.sim.Space()); len(r) > 0 {
+		return r[addr]
 	}
 	return -1
 }
