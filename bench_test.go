@@ -139,6 +139,14 @@ func BenchmarkContinualOptimization(b *testing.B) {
 	}
 }
 
+// --- E-repair: repair quality under failures ---------------------------
+
+func BenchmarkRepairQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.RepairQuality(96, 20, 128, 23))
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 func BenchmarkAblationSurrogate(b *testing.B) {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
@@ -133,13 +132,8 @@ func (n *Node) installPreliminary(surrogate *Node, prelim map[int][]route.Entry,
 	// Walk levels in ascending order — prelim is a map, and installation
 	// order decides evictions among equal-distance candidates, so iterating
 	// it directly would make joins (and their message costs) nondeterministic.
-	levels := make([]int, 0, len(prelim))
-	for l := range prelim {
-		levels = append(levels, l)
-	}
-	sort.Ints(levels)
 	seen := map[string]bool{}
-	for _, l := range levels {
+	for _, l := range sortedLevels(prelim) {
 		for _, e := range prelim[l] {
 			if seen[e.ID.String()] {
 				continue
@@ -204,12 +198,7 @@ func (x *Node) linkAndXferRoot(n *Node, cost *netsim.Cost) {
 		rec  pointerRec
 	}
 	var moves []moved
-	guids := make([]string, 0, len(x.objects))
-	for g := range x.objects {
-		guids = append(guids, g)
-	}
-	sort.Strings(guids)
-	for _, g := range guids {
+	for _, g := range sortedGUIDs(x.objects) {
 		st := x.objects[g]
 		for i := range st.recs {
 			r := st.recs[i]
@@ -229,22 +218,30 @@ func (x *Node) linkAndXferRoot(n *Node, cost *netsim.Cost) {
 	}
 }
 
-// acquireNeighborTable is Figure 4's ACQUIRENEIGHBORTABLE: starting from the
-// closest k nodes sharing maxLevel digits, repeatedly derive the closest k
-// nodes sharing one digit fewer (Lemma 1) and fill the corresponding table
-// level (Lemma 2), down to the empty prefix.
+// acquireNeighborTable is Figure 4's ACQUIRENEIGHBORTABLE on the nearest.go
+// engine: starting from the closest k nodes sharing maxLevel digits,
+// repeatedly derive the closest k nodes sharing one digit fewer (Lemma 1)
+// and fill the corresponding table level from everything measured along the
+// way (Lemma 2), down to the empty prefix. Every queried peer also checks
+// whether the inserting node improves its own table (Figure 4 line 4 /
+// Theorem 4's update mechanism, via the engine's onPeer hook).
 func (n *Node) acquireNeighborTable(seed []route.Entry, maxLevel int, cost *netsim.Cost) {
 	k := n.mesh.kList()
+	s := n.newNNSearch(k, nil, cost)
+	s.onPeer = func(peer *Node) { peer.addToTableIfCloser(n, cost) }
+	s.onDead = func(e route.Entry) { n.noteDead(e, cost) }
 	// The α-list from the multicast is complete, so use all of it to fill
 	// the top levels (Lemma 2 wants ~b·log n candidates per level; the
 	// trimmed k-list is only the descent vehicle of Lemma 1).
 	all := n.measureAll(seed, maxLevel)
 	n.buildTableFromList(all, maxLevel, cost)
-	list := keepClosestK(all, k)
+	for _, e := range all {
+		s.add(e)
+	}
 	for i := maxLevel - 1; i >= 0; i-- {
-		var cands []route.Entry
-		list, cands = n.getNextList(list, i, k, cost)
-		n.buildTableFromList(cands, i, cost)
+		p := n.id.Prefix(i)
+		s.expandLevel(p, i, nnLevelRounds)
+		n.buildTableFromList(s.matchers(p, i), i, cost)
 	}
 }
 
@@ -264,94 +261,26 @@ func (n *Node) measureAll(cands []route.Entry, level int) []route.Entry {
 	return out
 }
 
-func keepClosestK(list []route.Entry, k int) []route.Entry {
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].Distance != list[j].Distance {
-			return list[i].Distance < list[j].Distance
-		}
-		return list[i].ID.Less(list[j].ID)
-	})
-	if len(list) > k {
-		list = list[:k]
-	}
-	return list
-}
-
 // buildTableFromList installs list members into every qualifying level >=
-// minLevel of the new node's table.
+// minLevel of the new node's table. Entries already present at a level are
+// skipped outright: the descent re-offers its cumulative pool at every
+// level, and re-adding an unchanged entry would re-send its backpointer
+// registration (Table.Add reports an update-in-place as added).
 func (n *Node) buildTableFromList(list []route.Entry, minLevel int, cost *netsim.Cost) {
 	for _, e := range list {
 		max := ids.CommonPrefixLen(n.id, e.ID)
+		n.mu.Lock()
+		var missing []int
 		for l := minLevel; l <= max && l < n.table.Levels(); l++ {
+			if !n.table.Contains(l, e.ID) {
+				missing = append(missing, l)
+			}
+		}
+		n.mu.Unlock()
+		for _, l := range missing {
 			n.addNeighborAndNotify(l, e, cost)
 		}
 	}
-}
-
-// getNextList is Figure 4's GETNEXTLIST: ask every node on the level-(i+1)
-// list for its forward and backward pointers at level i and keep the k
-// closest level-i nodes; those k are contacted and each checks whether the
-// new node improves its own table (AddToTableIfCloser — Theorem 4's update
-// mechanism). It also returns the full measured candidate set so the caller
-// can fill table levels from it (Lemma 2).
-func (n *Node) getNextList(list []route.Entry, level, k int, cost *netsim.Cost) (trimmed, all []route.Entry) {
-	candidates := map[string]route.Entry{}
-	for _, c := range list {
-		candidates[c.ID.String()] = c
-	}
-	for _, c := range list {
-		peer, err := n.mesh.rpc(n.addr, c, cost, false)
-		if err != nil {
-			n.noteDead(c, cost)
-			continue
-		}
-		peer.mu.Lock()
-		var found []route.Entry
-		if level < peer.table.Levels() {
-			for d := 0; d < peer.table.Base(); d++ {
-				found = append(found, peer.table.Set(level, ids.Digit(d))...)
-			}
-			found = append(found, peer.table.Backs(level)...)
-		}
-		peer.mu.Unlock()
-		for _, f := range found {
-			if f.ID.Equal(n.id) {
-				continue
-			}
-			if _, ok := candidates[f.ID.String()]; !ok {
-				candidates[f.ID.String()] = f
-			}
-		}
-	}
-	union := make([]route.Entry, 0, len(candidates))
-	for _, e := range candidates {
-		union = append(union, e)
-	}
-	// The union feeds buildTableFromList, where installation order decides
-	// evictions among equal-distance candidates; a map-ordered union would
-	// make join results nondeterministic.
-	sort.Slice(union, func(i, j int) bool { return union[i].ID.Less(union[j].ID) })
-	all = n.measureAll(union, level)
-	trimmed = n.contactList(keepClosestK(append([]route.Entry(nil), all...), k), cost)
-	return trimmed, all
-}
-
-// contactList probes each list member (dropping corpses) and lets it run
-// AddToTableIfCloser (Figure 4 line 4 applies to list members, which is what
-// keeps the per-level message cost at O(k) and the whole join at O(log² n);
-// Theorem 4 guarantees every node needing an update appears on some level's
-// k-list).
-func (n *Node) contactList(list []route.Entry, cost *netsim.Cost) []route.Entry {
-	kept := list[:0]
-	for _, c := range list {
-		peer, err := n.mesh.rpc(n.addr, c, cost, false)
-		if err != nil {
-			continue
-		}
-		peer.addToTableIfCloser(n, cost)
-		kept = append(kept, c)
-	}
-	return kept
 }
 
 // addToTableIfCloser lets an existing node x adopt the inserting node n

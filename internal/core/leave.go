@@ -2,11 +2,38 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
 )
+
+// sortedLevels returns the level keys of a per-level entry map (AllBacks,
+// snapshotTable) in ascending order. These are maps; iterating them directly
+// would make notification and repair order — and therefore eviction
+// tie-breaks and message costs at every peer — nondeterministic
+// map-iteration order.
+func sortedLevels(byLevel map[int][]route.Entry) []int {
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	return levels
+}
+
+// sortedGUIDs returns the keys of a node's object-pointer map in ascending
+// order, for the same reason: pointer re-routing order must not be
+// map-iteration order.
+func sortedGUIDs(objects map[string]*objState) []string {
+	guids := make([]string, 0, len(objects))
+	for g := range objects {
+		guids = append(guids, g)
+	}
+	sort.Strings(guids)
+	return guids
+}
 
 // Leave removes the node gracefully (Section 5.1, Figure 12): a two-phase
 // voluntary delete that keeps objects available throughout.
@@ -33,7 +60,8 @@ func (n *Node) Leave(cost *netsim.Cost) error {
 	n.mu.Unlock()
 
 	// Phase 1: leaving notification with per-level replacements.
-	for level, holders := range backs {
+	for _, level := range sortedLevels(backs) {
+		holders := backs[level]
 		replacements := n.replacementsAt(level)
 		for _, h := range holders {
 			holder, err := n.mesh.oneWay(n.addr, h, cost)
@@ -59,7 +87,8 @@ func (n *Node) Leave(cost *netsim.Cost) error {
 		rec  pointerRec
 	}
 	var moves []moved
-	for _, st := range n.objects {
+	for _, g := range sortedGUIDs(n.objects) {
+		st := n.objects[g]
 		for _, r := range st.recs {
 			if r.root && !r.server.Equal(n.id) {
 				// Re-route from level 0: the post-departure root may diverge
@@ -86,8 +115,8 @@ func (n *Node) Leave(cost *netsim.Cost) error {
 	n.mu.Unlock()
 
 	seen := map[string]bool{}
-	for _, holders := range backs {
-		for _, h := range holders {
+	for _, level := range sortedLevels(backs) {
+		for _, h := range backs[level] {
 			if seen[h.ID.String()] {
 				continue
 			}
@@ -125,7 +154,7 @@ func (n *Node) replacementsAt(level int) []route.Entry {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var out []route.Entry
-	for _, e := range n.table.Set(level, n.id.Digit(level)) {
+	for _, e := range n.table.SetView(level, n.id.Digit(level)) {
 		if !e.ID.Equal(n.id) && !e.Leaving {
 			out = append(out, e)
 		}
@@ -144,7 +173,7 @@ func (h *Node) onPeerLeaving(leaver *Node, level int, replacements []route.Entry
 		r.Distance = h.mesh.net.Distance(h.addr, r.Addr)
 		r.Pinned, r.Leaving = false, false
 		h.mu.Lock()
-		improves := h.table.WouldImprove(level, r.ID, r.Distance) || h.table.HasHole(level, r.ID.Digit(level))
+		improves := h.table.WouldImprove(level, r.ID, r.Distance) // a hole counts as an improvement
 		h.mu.Unlock()
 		if improves {
 			h.addNeighborAndNotify(level, r, cost)
@@ -162,7 +191,8 @@ func (h *Node) onPeerLeaving(leaver *Node, level int, replacements []route.Entry
 		rec  pointerRec
 	}
 	var rerouted []work
-	for _, st := range h.objects {
+	for _, g := range sortedGUIDs(h.objects) {
+		st := h.objects[g]
 		for _, r := range st.recs {
 			if r.root {
 				continue
@@ -189,21 +219,15 @@ func (h *Node) onPeerLeaving(leaver *Node, level int, replacements []route.Entry
 func (h *Node) onPeerDeleted(dead ids.ID, cost *netsim.Cost) {
 	h.mu.Lock()
 	levels := h.table.Remove(dead)
-	type holeRef struct {
-		level int
-		digit ids.Digit
-	}
-	var holes []holeRef
+	var holes []slotRef
 	for _, l := range levels {
 		d := dead.Digit(l)
 		if h.table.HasHole(l, d) {
-			holes = append(holes, holeRef{l, d})
+			holes = append(holes, slotRef{l, d})
 		}
 	}
 	h.mu.Unlock()
-	for _, hole := range holes {
-		h.repairHole(hole.level, hole.digit, dead, cost)
-	}
+	h.repairHoles(holes, dead, cost)
 }
 
 // Fail removes the node without any notification — a crash, network

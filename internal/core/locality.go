@@ -37,9 +37,8 @@ func (n *Node) nextHopLocal(key ids.ID, level, region int) hopDecision {
 	for l := level; l < digits; l++ {
 		var chosen []route.Entry
 		for _, d := range ids.SurrogateOrder(n.table.Base(), key.Digit(l)) {
-			set := n.table.Set(l, d)
-			local := set[:0]
-			for _, e := range set {
+			var local []route.Entry
+			for _, e := range n.table.SetView(l, d) {
 				if n.mesh.regionOf(e.Addr) == region {
 					local = append(local, e)
 				}

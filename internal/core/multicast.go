@@ -252,7 +252,7 @@ func (n *Node) mcastDescend(p ids.Prefix, ctx *mcastCtx) {
 	var targets []target
 	for j := 0; j < n.table.Base(); j++ {
 		d := ids.Digit(j)
-		set := n.table.Set(l, d)
+		set := n.table.SetView(l, d) // read-only under n.mu; entries copied below
 		if len(set) == 0 {
 			continue
 		}

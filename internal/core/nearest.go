@@ -1,0 +1,251 @@
+package core
+
+import (
+	"sort"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// This file implements the paper's level-by-level nearest-neighbor search
+// (Section 4.2, generalizing Figure 4's GETNEXTLIST) as a reusable engine.
+// A search walks the prefix hierarchy toward a target prefix p: at match
+// level m it keeps the k closest known nodes sharing at least m digits with
+// p, queries the unqueried ones for their routing rows and backpointers at
+// levels >= m (every entry there shares at least m digits with the queried
+// node, hence candidates for level m and beyond), folds the answers into a
+// measured candidate pool, and re-selects — repeating until the k closest
+// m-matchers have all been queried. Lemma 1 is the reason one level's k-list
+// is derivable from the previous level's: in a growth-restricted metric the
+// closest nodes matching one more digit appear in the rows and backpointers
+// of the current list w.h.p.
+//
+// Three consumers share the engine:
+//   - repairHoleNearest (routing.go): refill N_{β,j} with the closest
+//     qualifying nodes after a failure, so Property 2 survives churn;
+//   - acquireNeighborTable (join.go): the Figure 4 descent that builds a new
+//     node's table level by level;
+//   - RefineTable (optimize.go): the §6.4 periodic refresh, re-running the
+//     search from a node's current contacts without a multicast.
+
+// Per-level query budget: how many times a level's k-closest list may be
+// re-selected and its unqueried members contacted before the search moves
+// on. Two rounds realize Lemma 1 (one to derive the next level's candidates,
+// one to chase anything closer those candidates revealed); the slot search
+// spends an extra closure round at the final level, where quality decides
+// whether a repaired slot matches the oracle-closest node.
+const (
+	nnLevelRounds   = 2
+	nnClosureRounds = 3
+)
+
+// nnSearch carries one level-by-level search from a fixed vantage node: the
+// measured candidate pool (distances from the vantage), which peers have
+// been queried and down to which row floor, and which probes failed.
+type nnSearch struct {
+	n     *Node
+	k     int
+	cost  *netsim.Cost
+	avoid map[string]bool // IDs never pooled nor returned (e.g. the corpse being replaced)
+
+	// onPeer, when set, runs on every successfully queried peer — join uses
+	// it for Figure 4 line 4 (the queried node checks whether the vantage
+	// node improves its own table, Theorem 4's update mechanism).
+	onPeer func(peer *Node)
+	// onDead, when set, runs on every candidate whose probe failed — join
+	// and the periodic refresh use it to purge the corpse from the vantage
+	// node's own table (noteDead), which the deleted GETNEXTLIST did
+	// inline. Repair leaves it nil: noteDead re-enters repair, and a repair
+	// recursing on every corpse its own search trips over would cascade.
+	onDead func(e route.Entry)
+
+	pool   map[string]route.Entry
+	floors map[string]int // lowest row floor this peer has been queried at
+	failed map[string]bool
+}
+
+func (n *Node) newNNSearch(k int, avoid map[string]bool, cost *netsim.Cost) *nnSearch {
+	return &nnSearch{
+		n:      n,
+		k:      k,
+		cost:   cost,
+		avoid:  avoid,
+		pool:   make(map[string]route.Entry),
+		floors: make(map[string]int),
+		failed: make(map[string]bool),
+	}
+}
+
+// add measures a candidate from the vantage node and pools it; the vantage
+// node itself, avoided IDs and already-known candidates are ignored.
+func (s *nnSearch) add(e route.Entry) {
+	if e.ID.IsZero() || e.ID.Equal(s.n.id) {
+		return
+	}
+	key := e.ID.String()
+	if s.avoid[key] {
+		return
+	}
+	if _, ok := s.pool[key]; ok {
+		return
+	}
+	e.Distance = s.n.mesh.net.Distance(s.n.addr, e.Addr)
+	e.Pinned, e.Leaving = false, false
+	s.pool[key] = e
+}
+
+// prefixMatch returns the number of leading digits id shares with p.
+func prefixMatch(id ids.ID, p ids.Prefix) int {
+	n := p.Len()
+	if id.Len() < n {
+		n = id.Len()
+	}
+	for i := 0; i < n; i++ {
+		if id.Digit(i) != p.Digit(i) {
+			return i
+		}
+	}
+	return n
+}
+
+// matchers returns every pooled candidate sharing at least m digits with p
+// whose probe has not failed, sorted by (distance, ID) — the same order the
+// routing table keeps its sets in, so "first matcher" and "slot primary"
+// agree on tie-breaks.
+func (s *nnSearch) matchers(p ids.Prefix, m int) []route.Entry {
+	out := make([]route.Entry, 0, len(s.pool))
+	for key, e := range s.pool {
+		if s.failed[key] || prefixMatch(e.ID, p) < m {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID.Less(out[j].ID)
+	})
+	return out
+}
+
+// queryPeer contacts a candidate and folds its forward rows and backpointers
+// at levels >= floor into the pool. Dead peers are marked failed (their
+// cleanup belongs to the caller's sweep, not to the search — recursing into
+// repair from inside a repair's own search would re-enter this code).
+func (s *nnSearch) queryPeer(e route.Entry, floor int) bool {
+	key := e.ID.String()
+	// A peer queried before at a higher floor already contributed its rows
+	// [prevFloor, Levels); re-fold only the newly exposed band below it —
+	// the dedup in add() would discard the rest anyway.
+	fold := -1 // exclusive upper bound; -1 = everything above floor
+	if f, ok := s.floors[key]; ok {
+		if floor >= f {
+			return true // nothing new to gather
+		}
+		fold = f
+	}
+	s.floors[key] = floor
+	peer, err := s.n.mesh.rpc(s.n.addr, e, s.cost, false)
+	if err != nil {
+		s.failed[key] = true
+		if s.onDead != nil {
+			s.onDead(e)
+		}
+		return false
+	}
+	peer.mu.Lock()
+	top := peer.table.Levels()
+	if fold >= 0 && fold < top {
+		top = fold
+	}
+	var found []route.Entry
+	for l := floor; l < top; l++ {
+		for d := 0; d < peer.table.Base(); d++ {
+			found = append(found, peer.table.SetView(l, ids.Digit(d))...)
+		}
+		found = append(found, peer.table.Backs(l)...)
+	}
+	peer.mu.Unlock()
+	for _, f := range found {
+		s.add(f)
+	}
+	if s.onPeer != nil {
+		s.onPeer(peer)
+	}
+	return true
+}
+
+// expandLevel runs one level of the search: select the k closest candidates
+// sharing at least m digits with p, query those not yet queried at a row
+// floor this low, and repeat (new answers may contain closer matchers) until
+// the k closest have all been queried or the round budget is spent.
+func (s *nnSearch) expandLevel(p ids.Prefix, m, rounds int) {
+	// Gathering at floor m surfaces level-m candidates; when m already spans
+	// the whole target prefix, row m-1 is where the full matchers keep their
+	// slot-mates, so the floor drops one level.
+	floor := m
+	if floor >= p.Len() && floor > 0 {
+		floor = p.Len() - 1
+	}
+	for r := 0; r < rounds; r++ {
+		list := s.matchers(p, m)
+		if len(list) > s.k {
+			list = list[:s.k]
+		}
+		progressed := false
+		for _, c := range list {
+			if f, ok := s.floors[c.ID.String()]; ok && f <= floor {
+				continue
+			}
+			s.queryPeer(c, floor)
+			progressed = true // even a failed probe changes the matcher set
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// nearestForSlot is the slot-targeted search: the closest live nodes
+// qualifying for slot (level, digit) of n's table, i.e. nodes extending
+// β·j for β = n's level-length prefix. Seeds are n's own contacts sharing β
+// (rows and backpointers at levels >= level); the search then walks the last
+// prefix level: the k closest β-sharers are queried for their (β, ·) rows,
+// surfacing (β, j) nodes, and the closest of those are closure-queried for
+// their slot-mates until the k-closest list is stable. The returned entries
+// are sorted by (distance, ID) from n's vantage; avoid lists IDs that must
+// not be returned (the dead node being replaced).
+func (n *Node) nearestForSlot(level int, digit ids.Digit, avoid map[string]bool, cost *netsim.Cost) []route.Entry {
+	k := n.mesh.kList()
+	s := n.newNNSearch(k, avoid, cost)
+
+	n.mu.Lock()
+	var seeds []route.Entry
+	n.table.ForEachNeighbor(func(l int, e route.Entry) {
+		if l >= level {
+			seeds = append(seeds, e)
+		}
+	})
+	for l := level; l < n.table.Levels(); l++ {
+		seeds = append(seeds, n.table.Backs(l)...)
+	}
+	n.mu.Unlock()
+	for _, e := range seeds {
+		s.add(e)
+	}
+
+	p := n.id.Prefix(level).Extend(digit)
+	s.expandLevel(p, level, nnLevelRounds)
+	s.expandLevel(p, p.Len(), nnClosureRounds)
+	return s.matchers(p, p.Len())
+}
+
+// NearestForSlot exposes the §4.2 slot search for experiments, audits and
+// benchmarks: the closest known live candidates for (level, digit), sorted
+// by distance from n. It performs network probes (charged to cost) but never
+// mutates n's table.
+func (n *Node) NearestForSlot(level int, digit ids.Digit, cost *netsim.Cost) []route.Entry {
+	return n.nearestForSlot(level, digit, nil, cost)
+}

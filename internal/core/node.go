@@ -55,6 +55,32 @@ func (s Scheme) String() string {
 	}
 }
 
+// RepairScheme selects how a node refills a routing-table hole left by a
+// dead neighbor (Section 5.2).
+type RepairScheme int
+
+const (
+	// RepairNearest runs the §4.2 level-by-level nearest-neighbor search
+	// (nearest.go) and installs the closest qualifying candidates, so
+	// Property 2 quality survives churn. The default.
+	RepairNearest RepairScheme = iota
+	// RepairScan is the legacy best-effort informant scan: ask current
+	// neighbors for any matching entry and take the first live one. Kept as
+	// the baseline the E-repair experiment compares the engine against.
+	RepairScan
+)
+
+func (r RepairScheme) String() string {
+	switch r {
+	case RepairNearest:
+		return "nearest"
+	case RepairScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("repair(%d)", int(r))
+	}
+}
+
 // Config parameterises a Mesh.
 type Config struct {
 	// Spec shapes the identifier space. Base must exceed the square of the
@@ -73,6 +99,9 @@ type Config struct {
 	RootSetSize int
 	// Surrogate selects the localized routing variant.
 	Surrogate Scheme
+	// Repair selects the hole-repair strategy after neighbor failures; the
+	// zero value is the §4.2 nearest-neighbor engine.
+	Repair RepairScheme
 	// PointerTTL is the soft-state lifetime of an object pointer in epochs;
 	// pointers older than PointerTTL epochs vanish unless republished.
 	PointerTTL int64
@@ -410,7 +439,9 @@ func (n *Node) sendBackpointerRemove(level int, e route.Entry, cost *netsim.Cost
 }
 
 // snapshotTable returns a deep copy of the node's forward links as entries
-// grouped by level, used by GetNextList and the preliminary-table copy.
+// grouped by level, used by SweepDead, ReorderNeighborSets and the
+// preliminary-table copy. Iterate the result via sortedLevels wherever the
+// order has observable effects.
 func (n *Node) snapshotTable() map[int][]route.Entry {
 	n.mu.Lock()
 	defer n.mu.Unlock()

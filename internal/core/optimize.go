@@ -106,6 +106,57 @@ func (n *Node) ReacquireTable(cost *netsim.Cost) error {
 	return nil
 }
 
+// RefineTable re-runs the §4.2 level-by-level nearest-neighbor search from
+// the node's current contacts and adopts every candidate that improves a
+// neighbor set — the engine-based middle ground between ReorderNeighborSets
+// (re-measures existing members only) and ReacquireTable (needs a full
+// acknowledged multicast). It returns the number of entries adopted. This is
+// the periodic-refinement consumer of nearest.go: run it when drift or churn
+// has degraded Property 2 and a multicast per node is too expensive.
+func (n *Node) RefineTable(cost *netsim.Cost) int {
+	k := n.mesh.kList()
+	s := n.newNNSearch(k, nil, cost)
+	s.onDead = func(e route.Entry) { n.noteDead(e, cost) }
+	n.mu.Lock()
+	var seeds []route.Entry
+	n.table.ForEachNeighbor(func(_ int, e route.Entry) { seeds = append(seeds, e) })
+	for l := 0; l < n.table.Levels(); l++ {
+		seeds = append(seeds, n.table.Backs(l)...)
+	}
+	levels := n.table.Levels()
+	n.mu.Unlock()
+	for _, e := range seeds {
+		s.add(e)
+	}
+	adopted := 0
+	offered := map[string]bool{}
+	for i := levels - 1; i >= 0; i-- {
+		p := n.id.Prefix(i)
+		s.expandLevel(p, i, nnLevelRounds)
+		for _, e := range s.matchers(p, i) {
+			// A candidate seen at an earlier (higher) iteration was already
+			// offered at every level above i; only level i is new for it.
+			lo, hi := i, i
+			if !offered[e.ID.String()] {
+				offered[e.ID.String()] = true
+				hi = ids.CommonPrefixLen(n.id, e.ID)
+				if hi > levels-1 {
+					hi = levels - 1
+				}
+			}
+			for l := lo; l <= hi; l++ {
+				n.mu.Lock()
+				improves := n.table.WouldImprove(l, e.ID, e.Distance)
+				n.mu.Unlock()
+				if improves && n.mesh.net.Alive(e.Addr) && n.addNeighborAndNotify(l, e, cost) {
+					adopted++
+				}
+			}
+		}
+	}
+	return adopted
+}
+
 // ShareTables sends each level's row to this node's neighbors at that level;
 // each recipient re-measures the offered entries from its own vantage point
 // and adopts improvements. Returns the number of adoptions across all
@@ -117,7 +168,7 @@ func (n *Node) ShareTables(cost *netsim.Cost) int {
 		n.mu.Lock()
 		var row []route.Entry
 		for d := 0; d < n.table.Base(); d++ {
-			row = append(row, n.table.Set(l, ids.Digit(d))...)
+			row = append(row, n.table.SetView(l, ids.Digit(d))...)
 		}
 		n.mu.Unlock()
 		if len(row) == 0 {

@@ -111,18 +111,34 @@ func bitMatch(a, b ids.Digit) int {
 
 // usableSet filters the neighbor set at (l, d) to entries that are not
 // excluded and not locally known to be dead; order (primary first) is
-// preserved.
+// preserved. It reads the table storage in place (SetView): in the common
+// case — no exclusion, no observed corpses — it returns the view itself and
+// allocates nothing; the caller holds n.mu and must not retain the slice
+// across a table mutation, which every caller (nextHop and the scan helpers)
+// already satisfies.
 func (n *Node) usableSet(l int, d ids.Digit, exclude ids.ID, deadSet map[string]bool) []route.Entry {
-	set := n.table.Set(l, d)
-	out := set[:0]
-	for _, e := range set {
+	set := n.table.SetView(l, d)
+	skip := func(e route.Entry) bool {
 		if !exclude.IsZero() && e.ID.Equal(exclude) {
-			continue
+			return true
 		}
-		if deadSet != nil && deadSet[e.ID.String()] {
-			continue
+		return deadSet != nil && deadSet[e.ID.String()]
+	}
+	i := 0
+	for ; i < len(set); i++ {
+		if skip(set[i]) {
+			break
 		}
-		out = append(out, e)
+	}
+	if i == len(set) {
+		return set // nothing filtered: zero-copy fast path
+	}
+	out := make([]route.Entry, 0, len(set)-1)
+	out = append(out, set[:i]...)
+	for _, e := range set[i+1:] {
+		if !skip(e) {
+			out = append(out, e)
+		}
 	}
 	return out
 }
@@ -234,39 +250,98 @@ func (n *Node) SurrogateFor(key ids.ID, cost *netsim.Cost) (*Node, int, error) {
 }
 
 // noteDead reacts to a failed probe of a neighbor: the entry is removed
-// everywhere and holes are repaired via the local-search algorithm of
-// Section 5.2 ("asking its remaining neighbors for their nearest matching
-// nodes").
-func (n *Node) noteDead(e route.Entry, cost *netsim.Cost) {
+// everywhere and holes are repaired per the configured repair scheme
+// (Section 5.2). It returns the number of dead forward links removed from
+// this node's table (one per level the corpse occupied).
+func (n *Node) noteDead(e route.Entry, cost *netsim.Cost) int {
 	n.mu.Lock()
 	if n.state == stateDead {
 		n.mu.Unlock()
-		return
+		return 0
 	}
 	levels := n.table.Remove(e.ID)
-	type holeRef struct {
-		level int
-		digit ids.Digit
-	}
-	var holes []holeRef
+	var holes []slotRef
 	for _, l := range levels {
 		d := e.ID.Digit(l)
 		if n.table.HasHole(l, d) {
-			holes = append(holes, holeRef{l, d})
+			holes = append(holes, slotRef{l, d})
 		}
 	}
 	n.mu.Unlock()
-	for _, h := range holes {
-		n.repairHole(h.level, h.digit, e.ID, cost)
+	n.repairHoles(holes, e.ID, cost)
+	return len(levels)
+}
+
+// repairHoles refills the given slots after `dead` was removed, dispatching
+// on the configured repair scheme: the §4.2 nearest-neighbor search
+// (default; refills each slot with the closest qualifying nodes so Property
+// 2 survives churn) or the legacy best-effort informant scan kept as an
+// experimental baseline. Holes must be in ascending level order (Remove
+// reports them that way).
+func (n *Node) repairHoles(holes []slotRef, dead ids.ID, cost *netsim.Cost) {
+	if len(holes) == 0 {
+		return
+	}
+	switch n.mesh.cfg.Repair {
+	case RepairScan:
+		for _, h := range holes {
+			n.repairHoleScan(h.level, h.digit, dead, cost)
+		}
+	default:
+		n.repairHolesNearest(holes, dead, cost)
 	}
 }
 
-// repairHole attempts to refill N_{β,j} after a neighbor died, by asking
-// current neighbors for their matching entries. Not guaranteed to find the
-// closest replacement (the paper offers the full nearest-neighbor algorithm
-// for that); guaranteed to find *a* replacement if one is known to any
-// queried neighbor.
-func (n *Node) repairHole(level int, digit ids.Digit, dead ids.ID, cost *netsim.Cost) {
+// repairHolesNearest runs the level-by-level search of §4.2 (nearest.go)
+// once per holed slot over ONE shared candidate pool — a corpse that holed
+// several levels of the same table would otherwise trigger several searches
+// re-querying largely the same peers — and installs up to R closest live
+// candidates per slot, so a repaired set holds the same entries a fresh
+// table construction would.
+func (n *Node) repairHolesNearest(holes []slotRef, dead ids.ID, cost *netsim.Cost) {
+	avoid := map[string]bool{dead.String(): true}
+	s := n.newNNSearch(n.mesh.kList(), avoid, cost)
+
+	// Seed once from every contact qualifying for the shallowest hole;
+	// deeper holes' informants are a subset.
+	minLevel := holes[0].level
+	n.mu.Lock()
+	var seeds []route.Entry
+	n.table.ForEachNeighbor(func(l int, e route.Entry) {
+		if l >= minLevel {
+			seeds = append(seeds, e)
+		}
+	})
+	for l := minLevel; l < n.table.Levels(); l++ {
+		seeds = append(seeds, n.table.Backs(l)...)
+	}
+	n.mu.Unlock()
+	for _, e := range seeds {
+		s.add(e)
+	}
+
+	for _, h := range holes {
+		p := n.id.Prefix(h.level).Extend(h.digit)
+		s.expandLevel(p, h.level, nnLevelRounds)
+		s.expandLevel(p, p.Len(), nnClosureRounds)
+		installed := 0
+		for _, c := range s.matchers(p, p.Len()) {
+			if installed >= n.mesh.cfg.R {
+				break
+			}
+			if n.mesh.net.Alive(c.Addr) && n.addNeighborAndNotify(h.level, c, cost) {
+				installed++
+			}
+		}
+	}
+}
+
+// repairHoleScan is the legacy repair heuristic: ask current neighbors for
+// their matching entries and take the first live one. Not guaranteed to find
+// the closest replacement; guaranteed to find *a* replacement if one is known
+// to any queried neighbor. Kept (behind Config.Repair = RepairScan) as the
+// baseline the E-repair experiment measures the §4.2 engine against.
+func (n *Node) repairHoleScan(level int, digit ids.Digit, dead ids.ID, cost *netsim.Cost) {
 	n.mu.Lock()
 	prefix := n.id.Prefix(level)
 	// Candidates able to know (β,j) nodes: anyone sharing β, i.e. entries at
@@ -295,9 +370,7 @@ func (n *Node) repairHole(level int, digit ids.Digit, dead ids.ID, cost *netsim.
 		target.mu.Lock()
 		var cands []route.Entry
 		if ids.CommonPrefixLen(target.id, n.id) >= level {
-			for _, c := range target.table.Set(level, digit) {
-				cands = append(cands, c)
-			}
+			cands = append(cands, target.table.Set(level, digit)...)
 		}
 		target.mu.Unlock()
 		for _, c := range cands {
@@ -315,20 +388,24 @@ func (n *Node) repairHole(level int, digit ids.Digit, dead ids.ID, cost *netsim.
 
 // SweepDead probes every forward neighbor (the soft-state heartbeat of
 // Section 6.5) and repairs links whose hosts no longer respond. It returns
-// the number of dead links removed.
+// the number of dead links removed: a neighbor held at several levels counts
+// once per level its link was dropped from, matching what Remove reports.
 func (n *Node) SweepDead(cost *netsim.Cost) int {
+	// Probe in ascending level order: snapshotTable is a map, and probe order
+	// decides the order repairs run in — and with it repair traffic and
+	// eviction tie-breaks — so iterating it directly would make sweeps
+	// nondeterministic (the same map-order bug class the Leave path had).
 	neighbors := n.snapshotTable()
 	removed := 0
 	seen := map[string]bool{}
-	for _, ents := range neighbors {
-		for _, e := range ents {
+	for _, l := range sortedLevels(neighbors) {
+		for _, e := range neighbors[l] {
 			if seen[e.ID.String()] {
 				continue
 			}
 			seen[e.ID.String()] = true
 			if _, err := n.mesh.rpc(n.addr, e, cost, false); err != nil {
-				n.noteDead(e, cost)
-				removed++
+				removed += n.noteDead(e, cost)
 			}
 		}
 	}

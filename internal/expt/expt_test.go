@@ -250,18 +250,22 @@ func TestAblationsRun(t *testing.T) {
 
 func TestContinualOptimizationShape(t *testing.T) {
 	tab := ContinualOptimization(48, 20)
-	if len(tab.Rows) != 4 {
-		t.Fatalf("expected 4 stages:\n%s", tab)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("expected 5 stages:\n%s", tab)
 	}
 	baseline := cell(t, tab, 0, 2)
 	drifted := cell(t, tab, 1, 2)
 	tuned := cell(t, tab, 2, 2)
-	reacq := cell(t, tab, 3, 2)
+	refined := cell(t, tab, 3, 2)
+	reacq := cell(t, tab, 4, 2)
 	if drifted <= baseline {
 		t.Errorf("drift did not worsen stretch (%g -> %g)\n%s", baseline, drifted, tab)
 	}
 	if tuned > drifted {
 		t.Errorf("tuning made stretch worse (%g -> %g)\n%s", drifted, tuned, tab)
+	}
+	if refined > tuned+1e-9 {
+		t.Errorf("engine refine made stretch worse (%g -> %g)\n%s", tuned, refined, tab)
 	}
 	if reacq > baseline*1.5+0.5 {
 		t.Errorf("full reacquire should approach baseline: %g vs %g\n%s", reacq, baseline, tab)

@@ -23,6 +23,12 @@ type Params struct {
 	ScaleNodes   int
 	ScaleEpochs  int
 	ScaleQueries int
+
+	// E-repair (repair-quality) knobs: mesh size, nodes killed before the
+	// sweep, and post-churn queries.
+	RepairN       int
+	RepairKills   int
+	RepairQueries int
 }
 
 // DefaultParams reproduces the paper-comparable scale.
@@ -40,6 +46,10 @@ func DefaultParams() Params {
 		ScaleNodes:   1024,
 		ScaleEpochs:  6,
 		ScaleQueries: 1024,
+
+		RepairN:       256,
+		RepairKills:   48,
+		RepairQueries: 512,
 	}
 }
 
@@ -58,6 +68,10 @@ func QuickParams() Params {
 		ScaleNodes:   96,
 		ScaleEpochs:  3,
 		ScaleQueries: 128,
+
+		RepairN:       96,
+		RepairKills:   20,
+		RepairQueries: 128,
 	}
 }
 
@@ -94,6 +108,9 @@ var registry = []Experiment{
 	{"E16", "ContinualOptimization", func(p Params) Def { return continualOptimizationDef(p.NNSize) }},
 	{"E-scale", "ScaleChurn", func(p Params) Def {
 		return scaleChurnDef(p.ScalePoints, p.ScaleNodes, p.ScaleEpochs, p.ScaleQueries)
+	}},
+	{"E-repair", "RepairQuality", func(p Params) Def {
+		return repairQualityDef(p.RepairN, p.RepairKills, p.RepairQueries)
 	}},
 	{"A1", "AblationSurrogate", func(p Params) Def { return ablationSurrogateDef(p.StretchN) }},
 	{"A2", "AblationR", func(p Params) Def { return ablationRDef(p.StretchN, []int{2, 3, 4}) }},

@@ -1,0 +1,40 @@
+package expt
+
+import (
+	"testing"
+
+	"tapestry/internal/core"
+)
+
+// TestRepairQualityAcceptance pins the E-repair bar: with the §4.2 engine,
+// at least 95% of refilled holes must hold the oracle-closest candidate,
+// every refillable hole must actually be refilled, and post-churn stretch
+// must be no worse than the legacy scan's.
+func TestRepairQualityAcceptance(t *testing.T) {
+	p := QuickParams()
+	var scanStretch, nearestStretch float64
+	for _, seed := range []int64{3, 4, 5} {
+		scan := runRepairScheme(core.RepairScan, p.RepairN, p.RepairKills, p.RepairQueries, seed)
+		nearest := runRepairScheme(core.RepairNearest, p.RepairN, p.RepairKills, p.RepairQueries, seed)
+
+		if nearest.Refilled == 0 {
+			t.Fatalf("seed %d: no holes were refilled; the scenario is not exercising repair", seed)
+		}
+		if frac := nearest.MatchFrac(); frac < 0.95 {
+			t.Fatalf("seed %d: nearest repair matched oracle on %.1f%% of refilled holes, want >= 95%%",
+				seed, 100*frac)
+		}
+		if nearest.Refilled < nearest.Refillable {
+			t.Fatalf("seed %d: nearest repair left %d of %d refillable holes empty",
+				seed, nearest.Refillable-nearest.Refilled, nearest.Refillable)
+		}
+		scanStretch += scan.Stretch.Mean()
+		nearestStretch += nearest.Stretch.Mean()
+	}
+	// Stretch is seed-noisy (different repairs shift individual query paths
+	// both ways); "no worse than the legacy path" is a claim about the mean.
+	if nearestStretch > scanStretch*1.01 {
+		t.Fatalf("post-churn stretch regressed: nearest %.3f vs scan %.3f (3-seed sums)",
+			nearestStretch, scanStretch)
+	}
+}

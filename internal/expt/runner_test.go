@@ -21,6 +21,10 @@ func smallParams() Params {
 		ScaleNodes:   32,
 		ScaleEpochs:  2,
 		ScaleQueries: 32,
+
+		RepairN:       48,
+		RepairKills:   8,
+		RepairQueries: 32,
 	}
 }
 

@@ -66,6 +66,15 @@ func continualOptimizationDef(n int) Def {
 		measure("after route drift")
 		m.TuneEpoch(nil)
 		measure("after TuneEpoch (reorder+gossip)")
+		// The §4.2 engine refresh: re-run the nearest-neighbor search from
+		// each node's current contacts, no multicast required.
+		for _, node := range env.nodes {
+			_ = node.RefineTable(nil)
+		}
+		for _, node := range env.nodes {
+			node.OptimizeObjectPtrs(nil)
+		}
+		measure("after engine refine (§4.2 search)")
 		for _, node := range env.nodes {
 			_ = node.ReacquireTable(nil)
 		}

@@ -189,7 +189,6 @@ func removeAt(set []Entry, i int) []Entry {
 // it appears in, returning the levels at which a forward link was removed.
 func (t *Table) Remove(id ids.ID) (levels []int) {
 	for l := 0; l < t.spec.Digits; l++ {
-		digit := 0
 		found := false
 		for d := range t.sets[l] {
 			for i := range t.sets[l][d] {
@@ -198,7 +197,7 @@ func (t *Table) Remove(id ids.ID) (levels []int) {
 						t.pinned--
 					}
 					t.sets[l][d] = removeAt(t.sets[l][d], i)
-					digit, found = d, true
+					found = true
 					break
 				}
 			}
@@ -208,7 +207,6 @@ func (t *Table) Remove(id ids.ID) (levels []int) {
 		}
 		if found {
 			levels = append(levels, l)
-			_ = digit
 		}
 		delete(t.back[l], keyOf(id))
 	}
@@ -221,6 +219,16 @@ func (t *Table) Set(level int, digit ids.Digit) []Entry {
 	out := make([]Entry, len(src))
 	copy(out, src)
 	return out
+}
+
+// SetView returns N_{β,j} at (level, digit), primary first, WITHOUT copying:
+// the returned slice aliases the table's own storage. The caller must hold
+// the owning node's lock, must treat the slice as read-only, and must not
+// retain it across any table mutation. This is the allocation-free read path
+// for per-hop routing decisions, where Set's defensive copy dominated the
+// routing cost.
+func (t *Table) SetView(level int, digit ids.Digit) []Entry {
+	return t.sets[level][digit]
 }
 
 // Primary returns the closest non-leaving neighbor at (level, digit). If all

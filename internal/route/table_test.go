@@ -368,3 +368,65 @@ func TestPinnedCount(t *testing.T) {
 		t.Fatalf("after Remove: %d", tb.PinnedCount())
 	}
 }
+
+// TestSetViewAliasesStorage: SetView returns the same contents as Set,
+// primary-first, without copying — mutations through Add are visible in a
+// freshly taken view, and Set's copy is unaffected by later table changes.
+func TestSetViewAliasesStorage(t *testing.T) {
+	tb := newTable(t) // owner 0123, R=2
+	tb.Add(2, Entry{ID: id(t, "0130"), Addr: 5, Distance: 3})
+	view := tb.SetView(2, 3)
+	cp := tb.Set(2, 3)
+	if len(view) != len(cp) {
+		t.Fatalf("view has %d entries, copy has %d", len(view), len(cp))
+	}
+	for i := range view {
+		if !view[i].ID.Equal(cp[i].ID) {
+			t.Fatalf("view[%d]=%v, copy[%d]=%v", i, view[i].ID, i, cp[i].ID)
+		}
+	}
+	// A closer entry becomes the new primary; a fresh view sees it, the old
+	// copy does not.
+	tb.Add(2, Entry{ID: id(t, "0131"), Addr: 6, Distance: 1})
+	if got := tb.SetView(2, 3); len(got) != len(cp)+1 || !got[0].ID.Equal(id(t, "0131")) {
+		t.Fatalf("fresh view missed the new primary: %v", got)
+	}
+	if len(cp) != 1 || !cp[0].ID.Equal(id(t, "0130")) {
+		t.Fatalf("Set copy mutated by a later Add: %v", cp)
+	}
+}
+
+// The benchmarks below quantify the no-copy read path that usableSet (the
+// per-hop routing decision) moved to: Set allocates and copies the slot on
+// every probe, SetView reads in place.
+func benchTableFull(b *testing.B) *Table {
+	tb := New(spec, mustParse("0123"), 0, 3)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		e := Entry{ID: spec.Random(rng), Addr: netsim.Addr(i + 1), Distance: float64(rng.Intn(64))}
+		for l := 0; l <= ids.CommonPrefixLen(tb.Owner(), e.ID) && l < spec.Digits; l++ {
+			tb.Add(l, e)
+		}
+	}
+	return tb
+}
+
+func BenchmarkSetCopy(b *testing.B) {
+	tb := benchTableFull(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < spec.Base; d++ {
+			_ = tb.Set(0, ids.Digit(d))
+		}
+	}
+}
+
+func BenchmarkSetView(b *testing.B) {
+	tb := benchTableFull(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < spec.Base; d++ {
+			_ = tb.SetView(0, ids.Digit(d))
+		}
+	}
+}
