@@ -147,6 +147,14 @@ func BenchmarkRepairQuality(b *testing.B) {
 	}
 }
 
+// --- E-hotspot: Zipf storm vs the serving layer --------------------------
+
+func BenchmarkHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, expt.Hotspot(128, 64, 2048, 24))
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 func BenchmarkAblationSurrogate(b *testing.B) {
@@ -195,6 +203,34 @@ func BenchmarkOpLocate(b *testing.B) {
 		hops += res.Hops
 	}
 	b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+}
+
+// BenchmarkOpLocateCached is BenchmarkOpLocate with the serving layer on
+// and warm: repeat queries are answered from the per-node locate cache.
+func BenchmarkOpLocateCached(b *testing.B) {
+	cfg := Defaults()
+	cfg.LocateCacheCap = 128
+	nw, err := New(RingSpace(256*4), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes, err := nw.Grow(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes[0].Publish("bench-object")
+	for _, n := range nodes {
+		if res, _ := n.Locate("bench-object"); !res.Found {
+			b.Fatal("warmup failed")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := nodes[i%len(nodes)].Locate("bench-object")
+		if !res.Found {
+			b.Fatal("lost object")
+		}
+	}
 }
 
 func BenchmarkOpPublish(b *testing.B) {

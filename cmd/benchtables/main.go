@@ -31,6 +31,8 @@ func main() {
 	format := flag.String("format", "table", "output format: table | json | csv")
 	scalePoints := flag.Int("scale-points", 0, "E-scale: metric-space points of the full churn cell (0 = params default)")
 	scaleNodes := flag.Int("scale-nodes", 0, "E-scale: initial overlay population (0 = params default)")
+	hotspotN := flag.Int("hotspot-n", 0, "E-hotspot: mesh size of the full cell (0 = params default)")
+	hotspotQueries := flag.Int("hotspot-queries", 0, "E-hotspot: Zipf queries of the full cell (0 = params default)")
 	flag.Parse()
 
 	pattern := *run
@@ -46,6 +48,12 @@ func main() {
 	}
 	if *scaleNodes > 0 {
 		params.ScaleNodes = *scaleNodes
+	}
+	if *hotspotN > 0 {
+		params.HotspotN = *hotspotN
+	}
+	if *hotspotQueries > 0 {
+		params.HotspotQueries = *hotspotQueries
 	}
 
 	r := expt.Runner{Seed: *seed, Workers: *workers, Params: params}

@@ -34,6 +34,7 @@ func main() {
 	r := flag.Int("r", 3, "neighbor-set capacity R")
 	roots := flag.Int("roots", 1, "root-set size |R_psi|")
 	prr := flag.Bool("prr", false, "use PRR-like surrogate routing")
+	cacheCap := flag.Int("cache-cap", 0, "per-node locate-cache capacity (the serving layer; 0 = off)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	run := flag.String("run", "", "run registry experiments matching this id/name regexp instead of the ad-hoc workload")
 	quick := flag.Bool("quick", false, "with -run: reduced experiment sizes")
@@ -78,6 +79,7 @@ func main() {
 	cfg.R = *r
 	cfg.RootSetSize = *roots
 	cfg.PRRRouting = *prr
+	cfg.LocateCacheCap = *cacheCap
 	cfg.Seed = *seed
 	nw, err := tapestry.New(space, cfg)
 	if err != nil {
@@ -143,6 +145,7 @@ func main() {
 	}
 	fmt.Printf("queries: %d/%d found | mean hops %.2f | mean msgs %.1f | mean distance %.1f\n",
 		found, *queries, hops/float64(found), msgs/float64(found), dist/float64(found))
+	fmt.Printf("final: %s\n", nw.Stats())
 	fmt.Printf("total network messages: %d\n", nw.TotalMessages())
 }
 

@@ -226,7 +226,7 @@ func (m *Mesh) AuditProperty4() []string {
 				_, err := server.routeToKey(key, nil, func(cur *Node, level int) bool {
 					cur.mu.Lock()
 					ok := false
-					if st := cur.objects[guid.String()]; st != nil {
+					if st := cur.objects[guid]; st != nil {
 						for _, r := range st.recs {
 							if r.server.Equal(server.id) && r.key.Equal(key) {
 								ok = true

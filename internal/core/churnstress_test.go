@@ -128,7 +128,7 @@ func dumpObject(m *Mesh, guid ids.ID, server, client *Node) string {
 		res, err := start.routeToKey(key, nil, func(cur *Node, level int) bool {
 			cur.mu.Lock()
 			recs := "none"
-			if st := cur.objects[guid.String()]; st != nil {
+			if st := cur.objects[guid]; st != nil {
 				recs = ""
 				for _, r := range st.recs {
 					recs += fmt.Sprintf("(srv=%v lastHop=%v lvl=%d root=%v) ", r.server, r.lastHop, r.level, r.root)
@@ -143,13 +143,13 @@ func dumpObject(m *Mesh, guid ids.ID, server, client *Node) string {
 	}
 	// Server's view of whether it still publishes.
 	server.mu.Lock()
-	out += fmt.Sprintf("server published=%v pointerCount=%d\n", server.published[guid.String()], 0)
+	out += fmt.Sprintf("server published=%v pointerCount=%d\n", server.published[guid], 0)
 	server.mu.Unlock()
 	// Global pointer census for this guid.
 	out += "all recs:\n"
 	for _, n := range m.Nodes() {
 		n.mu.Lock()
-		if st := n.objects[guid.String()]; st != nil {
+		if st := n.objects[guid]; st != nil {
 			for _, r := range st.recs {
 				out += fmt.Sprintf("  at %v: srv=%v lastHop=%v lvl=%d root=%v epoch=%d\n",
 					n.id, r.server, r.lastHop, r.level, r.root, r.epoch)

@@ -227,7 +227,7 @@ func TestSoftStateExpiry(t *testing.T) {
 	// Stop serving without unpublishing (a crash of the app, not the node),
 	// then let the TTL lapse: pointers must evaporate.
 	server.mu.Lock()
-	delete(server.published, guid.String())
+	delete(server.published, guid)
 	server.mu.Unlock()
 	for i := int64(0); i <= m.Config().PointerTTL; i++ {
 		now := m.Net().Tick()

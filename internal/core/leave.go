@@ -24,14 +24,14 @@ func sortedLevels(byLevel map[int][]route.Entry) []int {
 }
 
 // sortedGUIDs returns the keys of a node's object-pointer map in ascending
-// order, for the same reason: pointer re-routing order must not be
+// ID order, for the same reason: pointer re-routing order must not be
 // map-iteration order.
-func sortedGUIDs(objects map[string]*objState) []string {
-	guids := make([]string, 0, len(objects))
+func sortedGUIDs(objects map[ids.ID]*objState) []ids.ID {
+	guids := make([]ids.ID, 0, len(objects))
 	for g := range objects {
 		guids = append(guids, g)
 	}
-	sort.Strings(guids)
+	sort.Slice(guids, func(i, j int) bool { return guids[i].Less(guids[j]) })
 	return guids
 }
 
@@ -114,13 +114,13 @@ func (n *Node) Leave(cost *netsim.Cost) error {
 	n.state = stateDead
 	n.mu.Unlock()
 
-	seen := map[string]bool{}
+	seen := map[ids.ID]struct{}{}
 	for _, level := range sortedLevels(backs) {
 		for _, h := range backs[level] {
-			if seen[h.ID.String()] {
+			if _, ok := seen[h.ID]; ok {
 				continue
 			}
-			seen[h.ID.String()] = true
+			seen[h.ID] = struct{}{}
 			holder, err := n.mesh.oneWay(n.addr, h, cost)
 			if err != nil {
 				continue
@@ -129,7 +129,7 @@ func (n *Node) Leave(cost *netsim.Cost) error {
 		}
 	}
 	for _, f := range forwards {
-		if seen[f.ID.String()] {
+		if _, ok := seen[f.ID]; ok {
 			continue
 		}
 		peer, err := n.mesh.oneWay(n.addr, f, cost)

@@ -34,11 +34,13 @@ func (m *Mesh) regionOf(a netsim.Addr) int {
 // The caller holds n.mu.
 func (n *Node) nextHopLocal(key ids.ID, level, region int) hopDecision {
 	digits := n.table.Levels()
+	base := n.table.Base()
 	for l := level; l < digits; l++ {
 		var chosen []route.Entry
-		for _, d := range ids.SurrogateOrder(n.table.Base(), key.Digit(l)) {
+		want := int(key.Digit(l))
+		for i := 0; i < base; i++ {
 			var local []route.Entry
-			for _, e := range n.table.SetView(l, d) {
+			for _, e := range n.table.SetView(l, ids.Digit((want+i)%base)) {
 				if n.mesh.regionOf(e.Addr) == region {
 					local = append(local, e)
 				}
@@ -145,41 +147,44 @@ func (n *Node) LocateLocal(guid ids.ID, cost *netsim.Cost) (LocateResult, bool) 
 }
 
 // serveQueryLocal answers from pointers whose replica lives in the same
-// stub; remote replicas are ignored so the local phase never leaves.
+// stub; remote replicas are ignored so the local phase never leaves. Like
+// serveQuery, selection is a single pass under the lock and a replica that
+// turns out dead or no longer publishing is purged on the spot (previously
+// stale local pointers were silently skipped and re-probed by every later
+// query until TTL expiry).
 func (cur *Node) serveQueryLocal(guid ids.ID, region int, cost *netsim.Cost, hops *int) (LocateResult, bool) {
-	cur.mu.Lock()
-	var cands []pointerRec
-	if st := cur.objects[guid.String()]; st != nil {
-		for _, r := range st.recs {
-			if cur.mesh.regionOf(r.serverAddr) == region {
-				cands = append(cands, r)
+	var buf [16]pointerRec
+	for {
+		// Snapshot the stub-local records under the lock (the region check is
+		// a slice index); measure distances and verify outside it, exactly as
+		// serveQuery does.
+		recs := buf[:0]
+		cur.mu.Lock()
+		if st := cur.objects[guid]; st != nil {
+			for i := range st.recs {
+				if cur.mesh.regionOf(st.recs[i].serverAddr) == region {
+					recs = append(recs, st.recs[i])
+				}
 			}
 		}
-	}
-	cur.mu.Unlock()
-	for len(cands) > 0 {
+		cur.mu.Unlock()
+		if len(recs) == 0 {
+			return LocateResult{}, false
+		}
 		best := 0
-		for i := range cands {
-			if cur.mesh.net.Distance(cur.addr, cands[i].serverAddr) <
-				cur.mesh.net.Distance(cur.addr, cands[best].serverAddr) {
-				best = i
+		bestD := cur.mesh.net.Distance(cur.addr, recs[0].serverAddr)
+		for i := 1; i < len(recs); i++ {
+			if d := cur.mesh.net.Distance(cur.addr, recs[i].serverAddr); d < bestD {
+				best, bestD = i, d
 			}
 		}
-		rec := cands[best]
-		cands = append(cands[:best], cands[best+1:]...)
-		server, err := cur.mesh.rpc(cur.addr, entryAt(rec.server, rec.serverAddr), cost, true)
-		if err != nil {
-			continue
-		}
-		server.mu.Lock()
-		serves := server.published[guid.String()]
-		server.mu.Unlock()
-		if !serves {
+		rec := recs[best]
+		if !cur.verifyReplica(guid, rec.server, rec.serverAddr, cost) {
+			cur.purgePointer(guid, rec.server, rec.key)
 			continue
 		}
 		*hops++
 		return LocateResult{Found: true, Server: rec.server, ServerAddr: rec.serverAddr,
 			FoundAt: cur.id, Hops: *hops}, true
 	}
-	return LocateResult{}, false
 }

@@ -20,14 +20,15 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tapestry/internal/ids"
 	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/stats"
 )
 
 // Scheme selects the surrogate-routing variant of Section 2.3.
@@ -105,7 +106,18 @@ type Config struct {
 	// PointerTTL is the soft-state lifetime of an object pointer in epochs;
 	// pointers older than PointerTTL epochs vanish unless republished.
 	PointerTTL int64
-	// Seed feeds the mesh-level RNG used for root selection on queries.
+	// LocateCacheCap bounds the per-node LRU of cached location mappings
+	// (guid -> replica) populated on the return path of successful locates
+	// (see cache.go). Zero — the default — disables the cache entirely: no
+	// node allocates one and query behavior is bit-identical to builds
+	// without the serving layer.
+	LocateCacheCap int
+	// LocateCacheTTL is the lifetime of a cached location mapping in epochs.
+	// Zero means "expire alongside the pointer soft state" (PointerTTL).
+	LocateCacheTTL int64
+	// Seed feeds the per-node root-selection streams used by queries (each
+	// node derives a private SplitMix64 stream from Seed and its ID, so
+	// concurrent Locate calls never serialize on a shared RNG).
 	Seed int64
 }
 
@@ -151,6 +163,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.K < 0 {
 		return c, errors.New("core: K must be >= 0")
 	}
+	if c.LocateCacheCap < 0 {
+		return c, errors.New("core: LocateCacheCap must be >= 0 (0 disables the cache)")
+	}
+	if c.LocateCacheTTL < 0 {
+		return c, errors.New("core: LocateCacheTTL must be >= 0 (0 follows PointerTTL)")
+	}
+	if c.LocateCacheTTL == 0 {
+		c.LocateCacheTTL = c.PointerTTL
+	}
 	return c, nil
 }
 
@@ -172,12 +193,21 @@ type Node struct {
 
 	mu      sync.Mutex
 	table   *route.Table
-	objects map[string]*objState // GUID -> pointer records
+	objects map[ids.ID]*objState // GUID -> pointer records
 	state   nodeState
 
 	// published lists the GUIDs this node serves replicas of (it is a
 	// storage server for them); used for republish and audits.
-	published map[string]bool
+	published map[ids.ID]bool
+
+	// cache is the bounded LRU of location mappings for the serving layer
+	// (cache.go); nil unless Config.LocateCacheCap > 0. Guarded by mu.
+	cache *locateCache
+
+	// rootSalt seeds this node's private root-selection stream; locateSeq
+	// advances it one draw per Locate without any shared lock.
+	rootSalt  uint64
+	locateSeq atomic.Uint64
 
 	// Insertion-window state (Section 4.3): while inserting, queries for
 	// unknown objects are bounced to the pre-insertion surrogate.
@@ -211,8 +241,10 @@ type Mesh struct {
 	byID   map[string]*Node
 	byAddr map[netsim.Addr]*Node
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// Serving-layer counters: one observation per Locate on a cache-enabled
+	// mesh. Atomics so the query hot path never takes a mesh-wide lock.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 // NewMesh creates an empty overlay on the given network.
@@ -227,7 +259,6 @@ func NewMesh(net *netsim.Network, cfg Config) (*Mesh, error) {
 		regions: metric.Regions(net.Space()),
 		byID:    make(map[string]*Node),
 		byAddr:  make(map[netsim.Addr]*Node),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
 }
 
@@ -260,9 +291,13 @@ func (m *Mesh) newNodeLocked(id ids.ID, addr netsim.Addr) *Node {
 		id:        id,
 		addr:      addr,
 		table:     route.New(m.cfg.Spec, id, addr, m.cfg.R),
-		objects:   make(map[string]*objState),
-		published: make(map[string]bool),
+		objects:   make(map[ids.ID]*objState),
+		published: make(map[ids.ID]bool),
 		state:     stateInserting,
+		rootSalt:  uint64(stats.StreamSeed(m.cfg.Seed, id.String(), 0)),
+	}
+	if m.cfg.LocateCacheCap > 0 {
+		n.cache = newLocateCache(m.cfg.LocateCacheCap, m.cfg.LocateCacheTTL)
 	}
 	m.byID[id.String()] = n
 	m.byAddr[addr] = n
@@ -331,14 +366,6 @@ func (m *Mesh) Size() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return len(m.byID)
-}
-
-// randIntn draws from the mesh RNG under a lock (queries pick roots
-// randomly, Section 2.2).
-func (m *Mesh) randIntn(n int) int {
-	m.rngMu.Lock()
-	defer m.rngMu.Unlock()
-	return m.rng.Intn(n)
 }
 
 // errDead distinguishes "destination's host is up but the overlay node is

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"fmt"
+	"sort"
 
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/stats"
 )
 
 // pointerRec is one object pointer: the mapping from a GUID to one storage
@@ -24,7 +25,11 @@ type pointerRec struct {
 	root       bool  // the publish path terminated at this node
 }
 
-func (r pointerRec) dedupeKey() string { return r.server.String() + "/" + r.key.String() }
+// samePath reports whether the record lies on the (server, key) publish
+// path — the dedupe identity of a pointer record.
+func (r *pointerRec) samePath(server, key ids.ID) bool {
+	return r.server.Equal(server) && r.key.Equal(key)
+}
 
 // objState is a node's pointer set for one GUID.
 type objState struct {
@@ -32,9 +37,8 @@ type objState struct {
 }
 
 func (o *objState) upsert(r pointerRec) (prev pointerRec, existed bool) {
-	k := r.dedupeKey()
 	for i := range o.recs {
-		if o.recs[i].dedupeKey() == k {
+		if o.recs[i].samePath(r.server, r.key) {
 			prev = o.recs[i]
 			o.recs[i] = r
 			return prev, true
@@ -45,9 +49,8 @@ func (o *objState) upsert(r pointerRec) (prev pointerRec, existed bool) {
 }
 
 func (o *objState) remove(server, key ids.ID) bool {
-	k := server.String() + "/" + key.String()
 	for i := range o.recs {
-		if o.recs[i].dedupeKey() == k {
+		if o.recs[i].samePath(server, key) {
 			o.recs = append(o.recs[:i], o.recs[i+1:]...)
 			return true
 		}
@@ -63,12 +66,30 @@ func (n *Node) depositPointer(r pointerRec) (prev pointerRec, existed bool) {
 	defer n.mu.Unlock()
 	// The store is keyed by the *unsalted* GUID so queries (which know only
 	// the GUID) find pointers deposited along any salted path.
-	st := n.objects[r.guid.String()]
+	st := n.objects[r.guid]
 	if st == nil {
 		st = &objState{}
-		n.objects[r.guid.String()] = st
+		n.objects[r.guid] = st
 	}
 	return st.upsert(r)
+}
+
+// purgePointer removes a stale (server, key) record observed dead or
+// no-longer-serving by a query, so subsequent queries stop re-trying it
+// until the soft-state refresh re-deposits a live one.
+func (n *Node) purgePointer(guid, server, key ids.ID) {
+	n.mu.Lock()
+	if st := n.objects[guid]; st != nil {
+		if st.remove(server, key) && len(st.recs) == 0 {
+			delete(n.objects, guid)
+		}
+	}
+	if n.cache != nil {
+		// A cache hint naming the same failed server is equally stale; drop
+		// it now rather than burning a second probe on it next query.
+		n.cache.invalidate(guid, server)
+	}
+	n.mu.Unlock()
 }
 
 // Publish announces that n stores a replica of the object (Section 2.2,
@@ -76,7 +97,7 @@ func (n *Node) depositPointer(r pointerRec) (prev pointerRec, existed bool) {
 // from n toward the root, depositing an object pointer at every hop.
 func (n *Node) Publish(guid ids.ID, cost *netsim.Cost) error {
 	n.mu.Lock()
-	n.published[guid.String()] = true
+	n.published[guid] = true
 	n.mu.Unlock()
 	return n.republishObject(guid, cost)
 }
@@ -129,9 +150,9 @@ func (n *Node) publishPath(guid, key ids.ID, cost *netsim.Cost) error {
 		return err
 	}
 	res.node.mu.Lock()
-	if st := res.node.objects[guid.String()]; st != nil {
+	if st := res.node.objects[guid]; st != nil {
 		for i := range st.recs {
-			if st.recs[i].server.Equal(n.id) && st.recs[i].key.Equal(key) {
+			if st.recs[i].samePath(n.id, key) {
 				st.recs[i].root = true
 			}
 		}
@@ -157,9 +178,9 @@ func (n *Node) deleteBackward(guid, key, server ids.ID, hopID ids.ID, hopAddr ne
 		var nextAddr netsim.Addr
 		found := false
 		protected := false
-		if st := target.objects[guid.String()]; st != nil {
+		if st := target.objects[guid]; st != nil {
 			for _, r := range st.recs {
-				if r.key.Equal(key) && r.server.Equal(server) {
+				if r.samePath(server, key) {
 					found = true
 					next, nextAddr = r.lastHop, r.lastAddr
 					// A node that is currently the terminal for this key —
@@ -179,9 +200,14 @@ func (n *Node) deleteBackward(guid, key, server ids.ID, hopID ids.ID, hopAddr ne
 			if found && !protected {
 				st.remove(server, key)
 				if len(st.recs) == 0 {
-					delete(target.objects, guid.String())
+					delete(target.objects, guid)
 				}
 			}
+		}
+		if target.cache != nil && found && !protected {
+			// The pointer trail is being torn down; a cached hint naming the
+			// same withdrawing server must not outlive it.
+			target.cache.invalidate(guid, server)
 		}
 		target.mu.Unlock()
 		if !found || protected {
@@ -198,21 +224,26 @@ func entryAt(id ids.ID, addr netsim.Addr) route.Entry {
 
 // Unpublish withdraws this node's replica of the object: the deletion walks
 // each publish path removing this server's pointers (easier than in PRR
-// because every replica has its own pointers, Section 2.4).
+// because every replica has its own pointers, Section 2.4). The walk also
+// invalidates any cached location hints naming this server at the visited
+// nodes, so the serving layer forgets the replica along with the pointers.
 func (n *Node) Unpublish(guid ids.ID, cost *netsim.Cost) {
 	n.mu.Lock()
-	delete(n.published, guid.String())
+	delete(n.published, guid)
 	n.mu.Unlock()
 	spec := n.mesh.cfg.Spec
 	for i := 0; i < n.mesh.cfg.RootSetSize; i++ {
 		key := spec.Salt(guid, i)
 		_, _ = n.routeToKey(key, nil, func(cur *Node, level int) bool {
 			cur.mu.Lock()
-			if st := cur.objects[guid.String()]; st != nil {
+			if st := cur.objects[guid]; st != nil {
 				st.remove(n.id, key)
 				if len(st.recs) == 0 {
-					delete(cur.objects, guid.String())
+					delete(cur.objects, guid)
 				}
+			}
+			if cur.cache != nil {
+				cur.cache.invalidate(guid, n.id)
 			}
 			cur.mu.Unlock()
 			return false
@@ -226,27 +257,46 @@ type LocateResult struct {
 	Found      bool
 	Server     ids.ID      // the replica the query reached
 	ServerAddr netsim.Addr // its network address
-	FoundAt    ids.ID      // the node whose pointer satisfied the query
+	FoundAt    ids.ID      // the node whose pointer (or cached hint) satisfied the query
 	Hops       int         // application-level hops traversed (incl. final hop to the server)
+	FromCache  bool        // the answer came from a cached location mapping, not a pointer
+	// Exhausted distinguishes an abnormal termination — the hop budget ran
+	// out or the walk revisited a node (a routing loop) — from a genuine
+	// miss at the root. A healthy mesh never sets it.
+	Exhausted bool
 }
 
 // Locate routes a query for the object from n toward a root, stopping at the
 // first node holding a pointer and then proceeding to the closest replica
 // (Section 2.2, Figure 3). With multiple roots the starting root is chosen
-// at random and the rest are tried on failure (Observation 1).
+// pseudo-randomly and the rest are tried on failure (Observation 1). The
+// choice is drawn from a per-node SplitMix64 stream (seeded from Config.Seed
+// and the node ID) advanced by an atomic counter, so concurrent queries
+// never serialize on a shared RNG lock and serial runs replay exactly.
 func (n *Node) Locate(guid ids.ID, cost *netsim.Cost) LocateResult {
 	k := n.mesh.cfg.RootSetSize
 	start := 0
 	if k > 1 {
-		start = n.mesh.randIntn(k)
+		start = int(stats.SplitMix64(n.rootSalt+n.locateSeq.Add(1)) % uint64(k))
 	}
+	var out LocateResult
 	for t := 0; t < k; t++ {
 		salt := (start + t) % k
-		if res := n.locateVia(guid, salt, cost); res.Found {
-			return res
+		res := n.locateVia(guid, salt, cost)
+		if res.Found {
+			out = res
+			break
+		}
+		out.Exhausted = out.Exhausted || res.Exhausted
+	}
+	if n.cache != nil {
+		if out.Found && out.FromCache {
+			n.mesh.cacheHits.Add(1)
+		} else {
+			n.mesh.cacheMisses.Add(1)
 		}
 	}
-	return LocateResult{}
+	return out
 }
 
 // LocateVia runs a single-root query with an explicit salt; exposed for
@@ -255,103 +305,178 @@ func (n *Node) LocateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult 
 	return n.locateVia(guid, salt, cost)
 }
 
+// idIn reports whether id occurs in list. The per-query loop-detection
+// memory is a small slice with linear scans: locate paths are a few hops
+// (Theorem 2: <= Levels plus small surrogate overhead), so this beats a map
+// — and the backing array can live on the caller's stack, keeping the hot
+// path allocation-free.
+func idIn(list []ids.ID, id ids.ID) bool {
+	for i := range list {
+		if list[i].Equal(id) {
+			return true
+		}
+	}
+	return false
+}
+
 func (n *Node) locateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult {
 	key := n.mesh.cfg.Spec.Salt(guid, salt)
 	cur := n
 	level := 0
 	hops := 0
-	visited := map[string]bool{}
-	deadSet := map[string]bool{}
+	var visitedBuf [12]ids.ID
+	visited := visitedBuf[:0]
+	var deadSet map[ids.ID]struct{} // lazily allocated: only failed probes populate it
 	exclude := ids.ID{}
+	cacheOn := n.mesh.cfg.LocateCacheCap > 0
+	// path collects the traversed nodes so a successful answer can be cached
+	// at every hop on the (piggybacked) return path; nil when the cache is
+	// off, so the default configuration allocates nothing here.
+	var path []*Node
 	maxHops := n.table.Levels()*n.table.Base() + 8
 	for hops <= maxHops {
+		if cacheOn {
+			path = append(path, cur)
+		}
 		if res, ok := cur.serveQuery(guid, cost, &hops); ok {
+			cachePathDeposit(path, guid, res)
 			return res
 		}
-		// Loop detection (Section 4.3: "including information in the message
-		// header about where the request has been").
-		if visited[cur.id.String()] {
-			return LocateResult{}
+		if cacheOn {
+			if res, ok := cur.serveFromCache(guid, cost, &hops); ok {
+				cachePathDeposit(path, guid, res)
+				return res
+			}
 		}
-		visited[cur.id.String()] = true
+		// Loop detection (Section 4.3: "including information in the message
+		// header about where the request has been"). Reached only when the
+		// walk re-ENTERS a node over the network; re-deciding at the same
+		// node after a failed probe (below) is not a loop.
+		if idIn(visited, cur.id) {
+			return LocateResult{Exhausted: true}
+		}
+		visited = append(visited, cur.id)
 
-		cur.mu.Lock()
-		dec := cur.nextHop(key, level, exclude, deadSet)
-		inserting := cur.state == stateInserting
-		psur := cur.psurrogate
-		alpha := cur.alpha
-		cur.mu.Unlock()
+		// Decide and take the next hop, retrying through surviving entries
+		// when the chosen neighbor's host turns out dead (Observation 1
+		// fault tolerance): the corpse goes into deadSet and the decision is
+		// re-made at the same node instead of aborting the query. Each retry
+		// removes a table entry (noteDead) or excludes one, so the inner
+		// loop terminates.
+		for {
+			cur.mu.Lock()
+			dec := cur.nextHop(key, level, exclude, deadSet)
+			inserting := cur.state == stateInserting
+			psur := cur.psurrogate
+			alpha := cur.alpha
+			cur.mu.Unlock()
 
-		if dec.terminal {
-			if inserting && !psur.ID.IsZero() && !visited[psur.ID.String()] {
-				// Figure 10: an inserting node that cannot satisfy the query
-				// bounces it to its pre-insertion surrogate, which routes as
-				// if the new node did not exist.
-				exclude = cur.id
-				next, err := n.mesh.rpc(cur.addr, psur, cost, true)
-				if err != nil {
-					return LocateResult{}
+			if dec.terminal {
+				if inserting && !psur.ID.IsZero() && !idIn(visited, psur.ID) {
+					// Figure 10: an inserting node that cannot satisfy the
+					// query bounces it to its pre-insertion surrogate, which
+					// routes as if the new node did not exist.
+					exclude = cur.id
+					next, err := n.mesh.rpc(cur.addr, psur, cost, true)
+					if err != nil {
+						return LocateResult{}
+					}
+					cur = next
+					// Resume from the arrival level if below |α| (the key
+					// only provably shares min(arrival, |α|) digits with
+					// psur).
+					if alpha.Len() < level {
+						level = alpha.Len()
+					}
+					hops++
+					break
 				}
-				cur = next
-				// Resume from the arrival level if below |α| (the key only
-				// provably shares min(arrival, |α|) digits with psur).
-				if alpha.Len() < level {
-					level = alpha.Len()
+				return LocateResult{} // true root reached without a pointer
+			}
+			next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
+			if err != nil {
+				if deadSet == nil {
+					deadSet = make(map[ids.ID]struct{}, 2)
 				}
-				hops++
+				deadSet[dec.next.ID] = struct{}{}
+				cur.noteDead(dec.next, cost)
 				continue
 			}
-			return LocateResult{} // true root reached without a pointer
+			cur = next
+			level = dec.nextLevel
+			hops++
+			break
 		}
-		next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
-		if err != nil {
-			deadSet[dec.next.ID.String()] = true
-			cur.noteDead(dec.next, cost)
-			continue
-		}
-		cur = next
-		level = dec.nextLevel
-		hops++
 	}
-	return LocateResult{}
+	return LocateResult{Exhausted: true}
+}
+
+// cachePathDeposit records a successful answer at every upstream hop of the
+// query path — piggybacked on the response, charging no messages. The last
+// path element (the node that answered) is skipped: its own pointer store or
+// cache already answers. A nil path (cache off) is a no-op.
+func cachePathDeposit(path []*Node, guid ids.ID, res LocateResult) {
+	if len(path) < 2 {
+		return
+	}
+	now := path[0].mesh.net.Epoch()
+	for _, p := range path[:len(path)-1] {
+		p.cacheDeposit(guid, res.Server, res.ServerAddr, now)
+	}
+}
+
+// verifyReplica pays the final hop to a claimed replica and checks, under
+// the replica's own lock, that it still publishes the object. This is THE
+// consistency rule of the serving layer: no pointer record and no cached
+// hint is ever served without this check succeeding.
+func (cur *Node) verifyReplica(guid, server ids.ID, addr netsim.Addr, cost *netsim.Cost) bool {
+	target, err := cur.mesh.rpc(cur.addr, entryAt(server, addr), cost, true)
+	if err != nil {
+		return false
+	}
+	target.mu.Lock()
+	serves := target.published[guid]
+	target.mu.Unlock()
+	return serves
 }
 
 // serveQuery checks cur's pointer store for the object; on a hit the query
-// proceeds to the closest live replica known here.
+// proceeds to the closest live replica known here. The lock is held only for
+// a snapshot of the records (into a stack buffer — no heap traffic at
+// realistic replica counts); distance evaluation runs outside it, since on
+// lazy graph metrics a cold Distance is a Dijkstra and must not stall every
+// operation contending for this node. Selection is a single pass (the old
+// implementation re-scanned and spliced a candidate copy per probe, O(k²)
+// per pointer hit), and a replica that turns out dead — or live but no
+// longer publishing — is purged from the store on the spot, so subsequent
+// queries stop burning a probe on it until the soft-state refresh
+// re-deposits a live pointer.
 func (cur *Node) serveQuery(guid ids.ID, cost *netsim.Cost, hops *int) (LocateResult, bool) {
-	cur.mu.Lock()
-	var cands []pointerRec
-	if st := cur.objects[guid.String()]; st != nil {
-		cands = append(cands, st.recs...)
-	}
-	cur.mu.Unlock()
-	// "If multiple pointers are encountered, the query proceeds to the
-	// closest replica to the current node."
-	for len(cands) > 0 {
+	var buf [16]pointerRec
+	for {
+		recs := buf[:0]
+		cur.mu.Lock()
+		if st := cur.objects[guid]; st != nil {
+			recs = append(recs, st.recs...)
+		}
+		cur.mu.Unlock()
+		if len(recs) == 0 {
+			return LocateResult{}, false
+		}
+		// "If multiple pointers are encountered, the query proceeds to the
+		// closest replica to the current node."
 		best := 0
-		for i := range cands {
-			if cur.mesh.net.Distance(cur.addr, cands[i].serverAddr) <
-				cur.mesh.net.Distance(cur.addr, cands[best].serverAddr) {
-				best = i
+		bestD := cur.mesh.net.Distance(cur.addr, recs[0].serverAddr)
+		for i := 1; i < len(recs); i++ {
+			if d := cur.mesh.net.Distance(cur.addr, recs[i].serverAddr); d < bestD {
+				best, bestD = i, d
 			}
 		}
-		rec := cands[best]
-		cands = append(cands[:best], cands[best+1:]...)
-		server, err := cur.mesh.rpc(cur.addr, entryAt(rec.server, rec.serverAddr), cost, true)
-		if err != nil {
-			// Stale pointer to a dead replica: drop it and try the next one
-			// (soft state will finish the cleanup).
-			cur.mu.Lock()
-			if st := cur.objects[guid.String()]; st != nil {
-				st.remove(rec.server, rec.key)
-			}
-			cur.mu.Unlock()
-			continue
-		}
-		server.mu.Lock()
-		serves := server.published[guid.String()]
-		server.mu.Unlock()
-		if !serves {
+		rec := recs[best]
+		if !cur.verifyReplica(guid, rec.server, rec.serverAddr, cost) {
+			// Stale pointer (dead host, reused address, or a replica that
+			// withdrew): drop it and re-select from what remains.
+			cur.purgePointer(guid, rec.server, rec.key)
 			continue
 		}
 		*hops++
@@ -363,21 +488,54 @@ func (cur *Node) serveQuery(guid ids.ID, cost *netsim.Cost, hops *int) (LocateRe
 			Hops:       *hops,
 		}, true
 	}
-	return LocateResult{}, false
 }
 
-// PublishedObjects lists the GUIDs this node serves.
+// serveFromCache answers the query from cur's cached location mapping, if
+// any. The hint is verified with the replica itself before being served — a
+// cache entry can short-cut the route but never vouch for liveness — and a
+// failed verification drops the entry and reports a miss so the query
+// resumes ordinary routing.
+func (cur *Node) serveFromCache(guid ids.ID, cost *netsim.Cost, hops *int) (LocateResult, bool) {
+	if cur.cache == nil {
+		return LocateResult{}, false
+	}
+	now := cur.mesh.net.Epoch()
+	cur.mu.Lock()
+	ent, ok := cur.cache.lookup(guid, now)
+	cur.mu.Unlock()
+	if !ok {
+		return LocateResult{}, false
+	}
+	if !cur.verifyReplica(guid, ent.server, ent.serverAddr, cost) {
+		// Stale hint: the replica is gone or withdrew. Drop it; the probe's
+		// cost is the price of the shortcut, the fallback is the normal path.
+		cur.mu.Lock()
+		cur.cache.invalidate(guid, ent.server)
+		cur.mu.Unlock()
+		return LocateResult{}, false
+	}
+	*hops++
+	return LocateResult{
+		Found:      true,
+		Server:     ent.server,
+		ServerAddr: ent.serverAddr,
+		FoundAt:    cur.id,
+		Hops:       *hops,
+		FromCache:  true,
+	}, true
+}
+
+// PublishedObjects lists the GUIDs this node serves, in ascending ID order
+// (the store is a map; callers iterate the result where order has
+// observable effects, e.g. republish sequencing).
 func (n *Node) PublishedObjects() []ids.ID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make([]ids.ID, 0, len(n.published))
 	for g := range n.published {
-		id, err := n.mesh.cfg.Spec.Parse(g)
-		if err != nil {
-			panic(fmt.Sprintf("core: corrupt published key %q: %v", g, err))
-		}
-		out = append(out, id)
+		out = append(out, g)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -409,7 +567,8 @@ func (n *Node) RootCount() int {
 	return c
 }
 
-// expirePointers drops pointer records older than the soft-state TTL.
+// expirePointers drops pointer records — and cached location mappings —
+// older than the soft-state TTL.
 func (n *Node) expirePointers(now int64) {
 	ttl := n.mesh.cfg.PointerTTL
 	n.mu.Lock()
@@ -425,6 +584,9 @@ func (n *Node) expirePointers(now int64) {
 		if len(st.recs) == 0 {
 			delete(n.objects, g)
 		}
+	}
+	if n.cache != nil {
+		n.cache.expire(now)
 	}
 }
 
@@ -450,11 +612,7 @@ func (n *Node) OptimizeObjectPtrs(cost *netsim.Cost) {
 		rec  pointerRec
 	}
 	var work []workItem
-	for g, st := range n.objects {
-		guid, err := n.mesh.cfg.Spec.Parse(g)
-		if err != nil {
-			panic(fmt.Sprintf("core: corrupt object key %q: %v", g, err))
-		}
+	for guid, st := range n.objects {
 		for _, r := range st.recs {
 			if r.root {
 				continue
@@ -485,9 +643,9 @@ func (n *Node) forwardPointerPath(guid ids.ID, rec pointerRec, now int64, cost *
 		cur.mu.Unlock()
 		if dec.terminal {
 			cur.mu.Lock()
-			if st := cur.objects[guid.String()]; st != nil {
+			if st := cur.objects[guid]; st != nil {
 				for i := range st.recs {
-					if st.recs[i].server.Equal(rec.server) && st.recs[i].key.Equal(rec.key) {
+					if st.recs[i].samePath(rec.server, rec.key) {
 						st.recs[i].root = true
 					}
 				}

@@ -27,7 +27,7 @@ type hopDecision struct {
 // Figure 10's "route as if the new node were absent"; pass ids.ID{} for no
 // exclusion) and skipping entries whose hosts are observed dead in `deadSet`
 // (per-operation memory of failed probes). The caller holds n.mu.
-func (n *Node) nextHop(key ids.ID, level int, exclude ids.ID, deadSet map[string]bool) hopDecision {
+func (n *Node) nextHop(key ids.ID, level int, exclude ids.ID, deadSet map[ids.ID]struct{}) hopDecision {
 	digits := n.table.Levels()
 	for l := level; l < digits; l++ {
 		var set []route.Entry
@@ -57,9 +57,14 @@ func (n *Node) nextHop(key ids.ID, level int, exclude ids.ID, deadSet map[string
 // row l: the first non-empty neighbor set encountered in surrogate order
 // (desired digit, then wrapping upward), primary first with live-looking
 // secondaries behind it for failover.
-func (n *Node) scanNative(key ids.ID, l int, exclude ids.ID, deadSet map[string]bool) []route.Entry {
-	for _, d := range ids.SurrogateOrder(n.table.Base(), key.Digit(l)) {
-		set := n.usableSet(l, d, exclude, deadSet)
+func (n *Node) scanNative(key ids.ID, l int, exclude ids.ID, deadSet map[ids.ID]struct{}) []route.Entry {
+	// The surrogate order (ids.SurrogateOrder) is generated arithmetically
+	// instead of materialized: this scan runs once per level of every locate
+	// and publish, and the slice would be the hot path's only allocation.
+	base := n.table.Base()
+	want := int(key.Digit(l))
+	for i := 0; i < base; i++ {
+		set := n.usableSet(l, ids.Digit((want+i)%base), exclude, deadSet)
 		if len(set) > 0 {
 			return set
 		}
@@ -74,7 +79,7 @@ func (n *Node) scanNative(key ids.ID, l int, exclude ids.ID, deadSet map[string]
 // the same rule once the desired digit is treated as its best-bit target; we
 // keep the per-level best-bit rule, which also yields a unique root under
 // Property 1 by the Theorem 2 argument.)
-func (n *Node) scanPRRLike(key ids.ID, l int, exclude ids.ID, deadSet map[string]bool) []route.Entry {
+func (n *Node) scanPRRLike(key ids.ID, l int, exclude ids.ID, deadSet map[ids.ID]struct{}) []route.Entry {
 	want := key.Digit(l)
 	if set := n.usableSet(l, want, exclude, deadSet); len(set) > 0 {
 		return set
@@ -116,13 +121,17 @@ func bitMatch(a, b ids.Digit) int {
 // allocates nothing; the caller holds n.mu and must not retain the slice
 // across a table mutation, which every caller (nextHop and the scan helpers)
 // already satisfies.
-func (n *Node) usableSet(l int, d ids.Digit, exclude ids.ID, deadSet map[string]bool) []route.Entry {
+func (n *Node) usableSet(l int, d ids.Digit, exclude ids.ID, deadSet map[ids.ID]struct{}) []route.Entry {
 	set := n.table.SetView(l, d)
 	skip := func(e route.Entry) bool {
 		if !exclude.IsZero() && e.ID.Equal(exclude) {
 			return true
 		}
-		return deadSet != nil && deadSet[e.ID.String()]
+		if deadSet == nil {
+			return false
+		}
+		_, dead := deadSet[e.ID]
+		return dead
 	}
 	i := 0
 	for ; i < len(set); i++ {
@@ -159,8 +168,9 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 	cur := n
 	level := 0
 	hops := 0
-	deadSet := map[string]bool{}
-	bounced := map[string]bool{}
+	// Both sets are lazily allocated: a healthy walk never touches them, so
+	// the publish/optimize hot paths stay allocation-free.
+	var deadSet, bounced map[ids.ID]struct{}
 	maxHops := n.table.Levels()*n.table.Base() + 8 // generous loop guard; Theorem 2 implies <= Levels hops
 	for {
 		if visit != nil && visit(cur, level) {
@@ -181,9 +191,16 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 			// deadSet — a single excluded ID is not enough, because a walk
 			// that bounces off a second inserter could otherwise re-enter
 			// (and wrongly terminate at) the first.
-			if inserting && !psur.ID.IsZero() && !bounced[cur.id.String()] {
-				bounced[cur.id.String()] = true
-				deadSet[cur.id.String()] = true
+			_, alreadyBounced := bounced[cur.id]
+			if inserting && !psur.ID.IsZero() && !alreadyBounced {
+				if bounced == nil {
+					bounced = make(map[ids.ID]struct{}, 2)
+				}
+				if deadSet == nil {
+					deadSet = make(map[ids.ID]struct{}, 2)
+				}
+				bounced[cur.id] = struct{}{}
+				deadSet[cur.id] = struct{}{}
 				next, err := n.mesh.rpc(cur.addr, psur, cost, true)
 				if err != nil {
 					// The pre-insertion surrogate died (join racing churn):
@@ -211,7 +228,10 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 		if err != nil {
 			// Failed hop: remember the corpse for this operation, repair the
 			// table, and re-decide from the same node.
-			deadSet[dec.next.ID.String()] = true
+			if deadSet == nil {
+				deadSet = make(map[ids.ID]struct{}, 2)
+			}
+			deadSet[dec.next.ID] = struct{}{}
 			cur.noteDead(dec.next, cost)
 			continue
 		}
@@ -397,13 +417,13 @@ func (n *Node) SweepDead(cost *netsim.Cost) int {
 	// nondeterministic (the same map-order bug class the Leave path had).
 	neighbors := n.snapshotTable()
 	removed := 0
-	seen := map[string]bool{}
+	seen := map[ids.ID]struct{}{}
 	for _, l := range sortedLevels(neighbors) {
 		for _, e := range neighbors[l] {
-			if seen[e.ID.String()] {
+			if _, ok := seen[e.ID]; ok {
 				continue
 			}
-			seen[e.ID.String()] = true
+			seen[e.ID] = struct{}{}
 			if _, err := n.mesh.rpc(n.addr, e, cost, false); err != nil {
 				removed += n.noteDead(e, cost)
 			}

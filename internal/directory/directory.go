@@ -90,3 +90,6 @@ func (d *Directory) Fail() {
 	d.mu.Unlock()
 	d.net.Detach(d.server)
 }
+
+// Server returns the address of the central directory server.
+func (d *Directory) Server() netsim.Addr { return d.server }

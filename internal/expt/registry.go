@@ -29,6 +29,12 @@ type Params struct {
 	RepairN       int
 	RepairKills   int
 	RepairQueries int
+
+	// E-hotspot (serving-layer) knobs: mesh size of the full cell (the half
+	// cell uses HotspotN/2), published objects, and Zipf queries.
+	HotspotN       int
+	HotspotObjects int
+	HotspotQueries int
 }
 
 // DefaultParams reproduces the paper-comparable scale.
@@ -50,6 +56,10 @@ func DefaultParams() Params {
 		RepairN:       256,
 		RepairKills:   48,
 		RepairQueries: 512,
+
+		HotspotN:       512,
+		HotspotObjects: 256,
+		HotspotQueries: 8192,
 	}
 }
 
@@ -72,6 +82,10 @@ func QuickParams() Params {
 		RepairN:       96,
 		RepairKills:   20,
 		RepairQueries: 128,
+
+		HotspotN:       128,
+		HotspotObjects: 64,
+		HotspotQueries: 2048,
 	}
 }
 
@@ -111,6 +125,9 @@ var registry = []Experiment{
 	}},
 	{"E-repair", "RepairQuality", func(p Params) Def {
 		return repairQualityDef(p.RepairN, p.RepairKills, p.RepairQueries)
+	}},
+	{"E-hotspot", "HotObjects", func(p Params) Def {
+		return hotspotDef(p.HotspotN, p.HotspotObjects, p.HotspotQueries)
 	}},
 	{"A1", "AblationSurrogate", func(p Params) Def { return ablationSurrogateDef(p.StretchN) }},
 	{"A2", "AblationR", func(p Params) Def { return ablationRDef(p.StretchN, []int{2, 3, 4}) }},

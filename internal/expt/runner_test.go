@@ -25,6 +25,10 @@ func smallParams() Params {
 		RepairN:       48,
 		RepairKills:   8,
 		RepairQueries: 32,
+
+		HotspotN:       48,
+		HotspotObjects: 16,
+		HotspotQueries: 128,
 	}
 }
 

@@ -1,0 +1,41 @@
+package netsim
+
+import (
+	"testing"
+
+	"tapestry/internal/metric"
+)
+
+func TestLoadTracking(t *testing.T) {
+	n := New(metric.NewRing(16))
+	for a := 0; a < 16; a++ {
+		n.Attach(Addr(a))
+	}
+	if got := n.LoadAt(3); got != 0 {
+		t.Fatalf("load before enabling = %d, want 0", got)
+	}
+	_ = n.Send(0, 3, nil, true)
+	n.EnableLoadTracking()
+	for i := 0; i < 5; i++ {
+		_ = n.Send(0, 3, nil, true)
+	}
+	_ = n.Send(3, 0, nil, false)
+	if got := n.LoadAt(3); got != 5 {
+		t.Errorf("LoadAt(3) = %d, want 5 (pre-enable traffic uncounted)", got)
+	}
+	if got := n.LoadAt(0); got != 1 {
+		t.Errorf("LoadAt(0) = %d, want 1", got)
+	}
+	// Failed sends still count as delivered load at the target address: the
+	// probe consumed the destination's network attachment point.
+	n.Detach(7)
+	_ = n.Send(0, 7, nil, true)
+	if got := n.LoadAt(7); got != 1 {
+		t.Errorf("LoadAt(7) = %d, want 1 (failed probe charged)", got)
+	}
+	// Re-enabling resets.
+	n.EnableLoadTracking()
+	if got := n.LoadAt(3); got != 0 {
+		t.Errorf("LoadAt(3) after reset = %d, want 0", got)
+	}
+}

@@ -123,6 +123,13 @@ type Network struct {
 
 	totalMessages atomic.Int64
 	epoch         atomic.Int64
+
+	// load, when enabled, counts messages ADDRESSED to each address — the
+	// hotspot measurement for the serving-layer experiments. A probe to a
+	// dead address still counts: the attempt consumed that attachment
+	// point, exactly like the charged timeout in Send. nil (one
+	// pointer-null check on Send) unless EnableLoadTracking was called.
+	load []atomic.Int64
 }
 
 // New creates a network over the given metric space with all addresses
@@ -211,6 +218,9 @@ func (n *Network) LiveCount() int {
 // control chatter pass hop=false.
 func (n *Network) Send(from, to Addr, cost *Cost, hop bool) error {
 	n.totalMessages.Add(1)
+	if n.load != nil {
+		n.load[to].Add(1)
+	}
 	cost.Add(n.Distance(from, to), hop)
 	if !n.Alive(to) {
 		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
@@ -229,6 +239,32 @@ func (n *Network) RPC(from, to Addr, cost *Cost) error {
 
 // TotalMessages returns the network-wide message count since construction.
 func (n *Network) TotalMessages() int64 { return n.totalMessages.Load() }
+
+// EnableLoadTracking switches on (or, called again, resets) the per-address
+// message counters — the per-node load measurement behind the hotspot
+// experiments. Call it while no traffic is in flight: enabling races
+// with concurrent Send calls is not synchronized (the counters themselves
+// are atomics and are safe under any concurrency once enabled).
+func (n *Network) EnableLoadTracking() {
+	if n.load == nil {
+		n.load = make([]atomic.Int64, n.size)
+		return
+	}
+	for i := range n.load {
+		n.load[i].Store(0)
+	}
+}
+
+// LoadAt returns the number of messages addressed to addr (delivered, or
+// charged against a dead host) since load tracking was enabled (0 when
+// tracking is off).
+func (n *Network) LoadAt(a Addr) int64 {
+	n.checkAddr(a)
+	if n.load == nil {
+		return 0
+	}
+	return n.load[a].Load()
+}
 
 // Epoch returns the current virtual time.
 func (n *Network) Epoch() int64 { return n.epoch.Load() }

@@ -95,6 +95,14 @@ type Config struct {
 	// PointerTTL is the soft-state object-pointer lifetime in maintenance
 	// epochs.
 	PointerTTL int
+	// LocateCacheCap bounds the per-node LRU of cached location mappings
+	// populated on the return path of successful locates — the hot-object
+	// serving layer. 0 (the default) disables it; behavior is then
+	// bit-identical to builds without the cache.
+	LocateCacheCap int
+	// LocateCacheTTL is the cached-mapping lifetime in maintenance epochs;
+	// 0 follows PointerTTL.
+	LocateCacheTTL int
 	// Seed drives all randomized choices (IDs, root selection).
 	Seed int64
 }
@@ -115,6 +123,8 @@ func (c Config) toCore() core.Config {
 		cc.Surrogate = core.SchemePRRLike
 	}
 	cc.PointerTTL = int64(c.PointerTTL)
+	cc.LocateCacheCap = c.LocateCacheCap
+	cc.LocateCacheTTL = int64(c.LocateCacheTTL)
 	cc.Seed = c.Seed
 	return cc
 }
@@ -267,6 +277,7 @@ type Result struct {
 	ServerID   string // the replica's node identifier
 	ServerAddr int    // the replica's location
 	Hops       int
+	FromCache  bool // answered from a cached location mapping (serving layer)
 }
 
 // Locate routes a query for the named object toward its root, stopping at
@@ -275,7 +286,7 @@ func (n *Node) Locate(name string) (Result, Cost) {
 	var c netsim.Cost
 	res := n.inner.Locate(n.nw.guid(name), &c)
 	return Result{Found: res.Found, ServerID: res.Server.String(),
-		ServerAddr: int(res.ServerAddr), Hops: res.Hops}, costOf(&c)
+		ServerAddr: int(res.ServerAddr), Hops: res.Hops, FromCache: res.FromCache}, costOf(&c)
 }
 
 // LocateLocal is the two-phase Section 6.3 query: stub-restricted first,
@@ -357,6 +368,11 @@ type Stats struct {
 	TotalMessages  int64
 	MeanTableLinks float64
 	TotalPointers  int
+
+	// Serving-layer counters; all zero when the locate cache is disabled.
+	CachedMappings  int   // location mappings currently cached across the overlay
+	LocateCacheHits int64 // queries answered from a cached mapping
+	LocateCacheMiss int64 // queries that went all the way to a pointer (or failed)
 }
 
 // Stats returns a snapshot of overlay-wide statistics.
@@ -367,15 +383,23 @@ func (nw *Network) Stats() Stats {
 	for _, n := range nodes {
 		links += n.Table().NeighborCount()
 		s.TotalPointers += n.PointerCount()
+		s.CachedMappings += n.CacheSize()
 	}
 	if len(nodes) > 0 {
 		s.MeanTableLinks = float64(links) / float64(len(nodes))
 	}
+	s.LocateCacheHits, s.LocateCacheMiss = nw.mesh.LocateCacheStats()
 	return s
 }
 
-// String renders the stats compactly.
+// String renders the stats compactly; serving-layer counters appear only
+// once the cache has seen traffic, so cache-off output is unchanged.
 func (s Stats) String() string {
-	return fmt.Sprintf("nodes=%d messages=%d links/node=%.1f pointers=%d",
+	out := fmt.Sprintf("nodes=%d messages=%d links/node=%.1f pointers=%d",
 		s.Nodes, s.TotalMessages, s.MeanTableLinks, s.TotalPointers)
+	if s.LocateCacheHits+s.LocateCacheMiss > 0 {
+		out += fmt.Sprintf(" cached=%d hit%%=%.1f", s.CachedMappings,
+			100*float64(s.LocateCacheHits)/float64(s.LocateCacheHits+s.LocateCacheMiss))
+	}
+	return out
 }
