@@ -1,0 +1,188 @@
+package tapestry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIGolden is the facade's apidiff guard: every signature listed
+// in testdata/api.golden must exist, verbatim, in the package's current
+// exported surface. Additions are allowed (regenerate the golden with
+// `go test -run TestPublicAPIGolden -update .` so they become pinned too);
+// removing or changing a pinned symbol fails the test. This is what keeps
+// tapestry.New and the rest of the pre-NewProtocol surface stable across
+// facade refactors.
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api.golden from the current exported surface")
+
+const goldenPath = "testdata/api.golden"
+
+// renderNode prints an AST node and collapses it onto one line.
+func renderNode(fset *token.FileSet, node interface{}) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		panic(err)
+	}
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", "; ")
+	s = strings.Join(strings.Fields(s), " ")
+	return s
+}
+
+// recvExported reports whether a method receiver's base type is exported.
+func recvExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// exportedFieldsOnly strips unexported fields from struct types, so the
+// golden pins the public shape without freezing private internals.
+func exportedFieldsOnly(t ast.Expr) ast.Expr {
+	st, ok := t.(*ast.StructType)
+	if !ok {
+		return t
+	}
+	kept := &ast.FieldList{}
+	for _, f := range st.Fields.List {
+		var names []*ast.Ident
+		for _, name := range f.Names {
+			if name.IsExported() {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		kept.List = append(kept.List, &ast.Field{Names: names, Type: f.Type})
+	}
+	return &ast.StructType{Struct: st.Struct, Fields: kept}
+}
+
+// publicSurface parses the package's non-test files and renders every
+// exported declaration as one line.
+func publicSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Recv != nil && !recvExported(d.Recv) {
+						continue
+					}
+					cp := *d
+					cp.Body = nil
+					cp.Doc = nil
+					out = append(out, renderNode(fset, &cp))
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							assign := " "
+							if s.Assign != token.NoPos {
+								assign = " = "
+							}
+							out = append(out, fmt.Sprintf("type %s%s%s",
+								s.Name.Name, assign, renderNode(fset, exportedFieldsOnly(s.Type))))
+						case *ast.ValueSpec:
+							kw := "var"
+							if d.Tok == token.CONST {
+								kw = "const"
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									out = append(out, fmt.Sprintf("%s %s", kw, name.Name))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPublicAPIGolden(t *testing.T) {
+	current := publicSurface(t)
+	if *updateGolden {
+		var b strings.Builder
+		b.WriteString("# Exported surface of package tapestry, one declaration per line.\n")
+		b.WriteString("# Every line must stay present verbatim; regenerate with\n")
+		b.WriteString("#   go test -run TestPublicAPIGolden -update .\n")
+		for _, line := range current {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d symbols)", goldenPath, len(current))
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing %s (run with -update to create it): %v", goldenPath, err)
+	}
+	have := make(map[string]bool, len(current))
+	for _, line := range current {
+		have[line] = true
+	}
+	var missing []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !have[line] {
+			missing = append(missing, line)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("public facade symbols changed or removed (%d):", len(missing))
+		for _, m := range missing {
+			t.Errorf("  pinned but absent: %s", m)
+		}
+		t.Error("if the change is intentional, regenerate with -update and call it out in the PR")
+	}
+}

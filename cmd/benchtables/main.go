@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tapestry/internal/expt"
 )
@@ -33,6 +34,7 @@ func main() {
 	scaleNodes := flag.Int("scale-nodes", 0, "E-scale: initial overlay population (0 = params default)")
 	hotspotN := flag.Int("hotspot-n", 0, "E-hotspot: mesh size of the full cell (0 = params default)")
 	hotspotQueries := flag.Int("hotspot-queries", 0, "E-hotspot: Zipf queries of the full cell (0 = params default)")
+	protocol := flag.String("protocol", "", "E-faceoff: comma-separated overlay protocols to face off (empty = all registered)")
 	flag.Parse()
 
 	pattern := *run
@@ -54,6 +56,13 @@ func main() {
 	}
 	if *hotspotQueries > 0 {
 		params.HotspotQueries = *hotspotQueries
+	}
+	if *protocol != "" {
+		params.FaceoffProtocols = strings.Split(*protocol, ",")
+		if err := expt.ValidateProtocols(params.FaceoffProtocols); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(2)
+		}
 	}
 
 	r := expt.Runner{Seed: *seed, Workers: *workers, Params: params}

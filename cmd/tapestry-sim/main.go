@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -25,6 +26,7 @@ import (
 
 func main() {
 	n := flag.Int("n", 256, "number of overlay nodes")
+	protocol := flag.String("protocol", "tapestry", "overlay protocol: tapestry | chord | pastry | can | directory")
 	spaceKind := flag.String("space", "ring", "metric space: ring | torus | cloud | graph | transitstub")
 	objects := flag.Int("objects", 64, "objects to publish (one replica each)")
 	replicas := flag.Int("replicas", 1, "replicas per object")
@@ -74,6 +76,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	proto, ok := map[string]tapestry.Protocol{
+		"tapestry": tapestry.Tapestry, "chord": tapestry.Chord,
+		"pastry": tapestry.Pastry, "can": tapestry.CAN,
+		"directory": tapestry.Directory,
+	}[*protocol]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
 	cfg := tapestry.Defaults()
 	cfg.Base = *base
 	cfg.R = *r
@@ -81,12 +93,12 @@ func main() {
 	cfg.PRRRouting = *prr
 	cfg.LocateCacheCap = *cacheCap
 	cfg.Seed = *seed
-	nw, err := tapestry.New(space, cfg)
+	nw, err := tapestry.NewProtocol(space, proto, cfg)
 	if err != nil {
 		fail(err)
 	}
 
-	fmt.Printf("growing %d nodes on %s ...\n", *n, space.Name())
+	fmt.Printf("growing %d %s nodes on %s (caps: %s) ...\n", *n, proto, space.Name(), nw.Caps())
 	nodes, err := nw.Grow(*n)
 	if err != nil {
 		fail(err)
@@ -105,20 +117,28 @@ func main() {
 	}
 	fmt.Printf("published %d objects x %d replicas\n", *objects, *replicas)
 
+	declined := 0
 	for e := 0; e < *churn; e++ {
 		if e%2 == 0 {
 			if _, err := nw.Grow(1); err != nil {
+				if errors.Is(err, tapestry.ErrUnsupported) {
+					declined++
+					continue
+				}
 				fail(err)
 			}
 		} else {
 			all := nw.Nodes()
 			victim := all[rng.Intn(len(all))]
-			if _, err := victim.Leave(); err == nil {
-				continue
+			if _, err := victim.Leave(); errors.Is(err, tapestry.ErrUnsupported) {
+				declined++
 			}
 		}
 	}
 	if *churn > 0 {
+		if declined > 0 {
+			fmt.Printf("churn: %d of %d events declined (protocol caps: %s)\n", declined, *churn, nw.Caps())
+		}
 		fmt.Printf("after %d churn events: %s\n", *churn, nw.Stats())
 		if v := nw.CheckConsistency(); len(v) != 0 {
 			fmt.Printf("CONSISTENCY VIOLATIONS: %d (first: %s)\n", len(v), v[0])

@@ -484,6 +484,15 @@ func (n *Node) snapshotTable() map[int][]route.Entry {
 // membership changes; tests are the intended consumer.
 func (n *Node) Table() *route.Table { return n.table }
 
+// NeighborCount returns the number of routing-table links, taken under the
+// node's lock so it is safe against concurrent membership changes (the
+// Table() accessor is not).
+func (n *Node) NeighborCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.table.NeighborCount()
+}
+
 // lockedView runs fn with the node's lock held; for audits only.
 func (n *Node) lockedView(fn func(t *route.Table)) {
 	n.mu.Lock()

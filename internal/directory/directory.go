@@ -75,6 +75,53 @@ func (d *Directory) Locate(client netsim.Addr, key string, cost *netsim.Cost) Lo
 	return LocateResult{Found: true, Server: best, Hops: 2}
 }
 
+// Withdraw removes one replica registration (one round trip to the server).
+func (d *Directory) Withdraw(key string, replica netsim.Addr, cost *netsim.Cost) error {
+	if err := d.net.RPC(replica, d.server, cost); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.load++
+	kept := d.table[key][:0]
+	for _, r := range d.table[key] {
+		if r != replica {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(d.table, key)
+	} else {
+		d.table[key] = kept
+	}
+	return nil
+}
+
+// Deregister removes every replica registration of a gracefully departing
+// client (one round trip to the server).
+func (d *Directory) Deregister(client netsim.Addr, cost *netsim.Cost) error {
+	if err := d.net.RPC(client, d.server, cost); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.load++
+	for k, reps := range d.table {
+		kept := reps[:0]
+		for _, r := range reps {
+			if r != client {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			delete(d.table, k)
+		} else {
+			d.table[k] = kept
+		}
+	}
+	return nil
+}
+
 // Load returns the total requests the single server has absorbed.
 func (d *Directory) Load() int {
 	d.mu.Lock()

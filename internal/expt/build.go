@@ -4,13 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 
-	"tapestry/internal/can"
-	"tapestry/internal/chord"
 	"tapestry/internal/core"
 	"tapestry/internal/ids"
 	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
-	"tapestry/internal/pastry"
+	"tapestry/internal/overlay"
 	"tapestry/internal/stats"
 )
 
@@ -48,17 +46,19 @@ func pickAddrs(space metric.Space, n int, rng *rand.Rand) []netsim.Addr {
 // distances non-degenerate).
 func ringSpace(n int) metric.Space { return metric.NewRing(4 * n) }
 
-// tapEnv is a built Tapestry overlay plus bookkeeping.
+// tapEnv is a built Tapestry overlay plus bookkeeping, for the experiments
+// that exercise Tapestry-specific machinery (audits, repair schemes, the
+// serving-layer cache twins). Cross-protocol experiments use overlayEnv,
+// whose joinMsgs carry the per-join costs E3 measures.
 type tapEnv struct {
-	mesh      *core.Mesh
-	nodes     []*core.Node
-	joinCosts []int
-	net       *netsim.Network
+	mesh  *core.Mesh
+	nodes []*core.Node
+	net   *netsim.Network
 }
 
 // buildTapestry grows a Tapestry mesh. dynamic=true uses the paper's join
-// protocol (and records per-join message costs); false uses the static
-// oracle construction (fast path for large read-only meshes).
+// protocol; false uses the static oracle construction (fast path for large
+// read-only meshes).
 func buildTapestry(space metric.Space, n int, cfg core.Config, seed int64, dynamic bool) tapEnv {
 	rng := rand.New(rand.NewSource(seed))
 	net := netsim.New(space)
@@ -68,11 +68,11 @@ func buildTapestry(space metric.Space, n int, cfg core.Config, seed int64, dynam
 		if err != nil {
 			panic(err)
 		}
-		nodes, costs, err := m.GrowSequential(addrs, rng)
+		nodes, _, err := m.GrowSequential(addrs, rng)
 		if err != nil {
 			panic(err)
 		}
-		return tapEnv{mesh: m, nodes: nodes, joinCosts: costs, net: net}
+		return tapEnv{mesh: m, nodes: nodes, net: net}
 	}
 	parts := core.StaticParticipants(cfg.Spec, addrs, rng)
 	m, err := core.BuildStatic(net, cfg, parts)
@@ -94,62 +94,49 @@ func defaultTapConfig() core.Config {
 	return cfg
 }
 
-type chordEnv struct {
-	ring      *chord.Ring
-	nodes     []*chord.Node
-	joinCosts []int
-	net       *netsim.Network
+// overlayEnv is one protocol instance built through the unified
+// overlay.Builder registry, with handles in address order: node index i sits
+// at the same address in every overlayEnv built over the same addrs, which
+// is what makes cross-protocol cells comparable.
+type overlayEnv struct {
+	proto    overlay.Protocol
+	nodes    []overlay.Handle
+	joinMsgs []int // per-member construction messages (zeros for static builds)
 }
 
-func buildChord(space metric.Space, n int, seed int64) chordEnv {
-	rng := rand.New(rand.NewSource(seed))
-	net := netsim.New(space)
-	r := chord.NewRing(net, seed)
-	nodes, costs, err := r.Grow(pickAddrs(space, n, rng), rng)
+// buildOverlay constructs the named protocol over a fresh network on the
+// space and populates it at the given addresses. Every protocol of a cell
+// must be built over the same addrs with the same seed — the registry-keyed
+// replacement for the bespoke per-protocol builder shims this file used to
+// hold.
+func buildOverlay(name string, space metric.Space, addrs []netsim.Addr, cfg overlay.Config) overlayEnv {
+	b, err := overlay.Lookup(name)
 	if err != nil {
 		panic(err)
 	}
-	r.Stabilize(nil)
-	return chordEnv{ring: r, nodes: nodes, joinCosts: costs, net: net}
-}
-
-type pastryEnv struct {
-	mesh  *pastry.Mesh
-	nodes []*pastry.Node
-	net   *netsim.Network
-}
-
-func buildPastry(space metric.Space, n int, seed int64) pastryEnv {
-	rng := rand.New(rand.NewSource(seed))
-	net := netsim.New(space)
-	leaf := 8
-	m, err := pastry.NewMesh(net, exptSpec, leaf)
+	if cfg.Spec.Base == 0 {
+		cfg.Spec = exptSpec
+	}
+	p, err := b.New(netsim.New(space), cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("expt: build %s: %v", name, err))
 	}
-	if err := m.Build(pastry.RandomParts(exptSpec, pickAddrs(space, n, rng), rng)); err != nil {
-		panic(err)
+	handles, msgs, err := p.Build(addrs)
+	if err != nil {
+		panic(fmt.Sprintf("expt: build %s: %v", name, err))
 	}
-	return pastryEnv{mesh: m, nodes: m.Nodes(), net: net}
+	return overlayEnv{proto: p, nodes: handles, joinMsgs: msgs}
 }
 
-type canEnv struct {
-	mesh      *can.Mesh
-	nodes     []*can.Node
-	joinCosts []int
-	net       *netsim.Network
+// publish announces node i as a replica holder of the key, panicking on the
+// impossible (experiment placements only publish from live members).
+func (e overlayEnv) publish(i int, key string) {
+	if _, err := e.proto.Publish(e.nodes[i], key); err != nil {
+		panic(fmt.Sprintf("expt: %s publish %q: %v", e.proto.Name(), key, err))
+	}
 }
 
-func buildCAN(space metric.Space, n, dims int, seed int64) canEnv {
-	rng := rand.New(rand.NewSource(seed))
-	net := netsim.New(space)
-	m, err := can.NewMesh(net, dims)
-	if err != nil {
-		panic(err)
-	}
-	nodes, costs, err := m.Grow(pickAddrs(space, n, rng), rng)
-	if err != nil {
-		panic(err)
-	}
-	return canEnv{mesh: m, nodes: nodes, joinCosts: costs, net: net}
+// locate queries the key from node i, returning the result and its cost.
+func (e overlayEnv) locate(i int, key string) (overlay.Result, *netsim.Cost) {
+	return e.proto.Locate(e.nodes[i], key)
 }

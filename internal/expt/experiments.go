@@ -12,6 +12,7 @@ import (
 	"tapestry/internal/ids"
 	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
+	"tapestry/internal/overlay"
 	"tapestry/internal/stats"
 	"tapestry/internal/workload"
 )
@@ -38,68 +39,55 @@ func stretchVsDistanceDef(n, objects, queries int) Def {
 			Header: []string{"distance decile", "tapestry", "chord", "pastry", "directory"},
 		},
 	}
+	systems := []string{"tapestry", "chord", "pastry", "directory"}
 	d.Cells = append(d.Cells, Cell{Label: fmt.Sprintf("n=%d", n), Run: func(seed int64, t *Table) {
 		rng := subRNG(seed, "workload")
 		bseed := subSeed(seed, "build")
 		space := ringSpace(n)
 		diameter := float64(space.Size()) / 2
-
-		tap := buildTapestry(space, n, defaultTapConfig(), bseed, false)
-		ch := buildChord(space, n, bseed)
-		pa := buildPastry(space, n, bseed)
-		dir := newDirEnvFor(tap)
+		addrs := pickAddrs(space, n, rand.New(rand.NewSource(bseed)))
 
 		place := workload.UniformPlacement(objects, 1, n, rng)
-		guids := publishTapestry(tap, place)
-		chKeys := make([]uint64, objects)
-		paKeys := pastryKeys(place.Names)
-		for i := range place.Names {
-			chKeys[i] = chordHashOf(place.Names[i], bseed)
-			_ = ch.nodes[place.Servers[i][0]].Publish(chKeys[i], nil)
-			_ = pa.nodes[place.Servers[i][0]].Publish(paKeys[i], nil)
-			_ = dir.publish(place.Names[i], dir.addrs[place.Servers[i][0]], nil)
-		}
-
-		type bucket struct{ tap, ch, pa, dir stats.Summary }
-		buckets := make([]bucket, 10)
 		mix := workload.UniformQueries(queries, n, objects, rng)
-		for i := range mix.Clients {
-			ci, oi := mix.Clients[i], mix.Objects[i]
-			si := place.Servers[oi][0]
-			if ci == si {
-				continue
+
+		// buckets[b][sys] is the per-decile stretch summary of one system.
+		buckets := make([]map[string]*stats.Summary, 10)
+		for b := range buckets {
+			buckets[b] = make(map[string]*stats.Summary, len(systems))
+			for _, sys := range systems {
+				buckets[b][sys] = &stats.Summary{}
 			}
-			direct := tap.net.Distance(tap.nodes[ci].Addr(), tap.nodes[si].Addr())
-			if direct == 0 {
-				continue
+		}
+		for _, sys := range systems {
+			env := buildOverlay(sys, space, addrs, overlay.Config{Seed: bseed, Static: true})
+			for i := range place.Names {
+				env.publish(place.Servers[i][0], place.Names[i])
 			}
-			b := int(direct / diameter * 10)
-			if b > 9 {
-				b = 9
-			}
-			var c1 netsim.Cost
-			if res := tap.nodes[ci].Locate(guids[oi], &c1); res.Found {
-				buckets[b].tap.Add(c1.Distance() / direct)
-			}
-			var c2 netsim.Cost
-			if res := ch.nodes[ci].Locate(chKeys[oi], &c2); res.Found {
-				buckets[b].ch.Add(c2.Distance() / direct)
-			}
-			var c3 netsim.Cost
-			if res := pa.nodes[ci].Locate(paKeys[oi], &c3); res.Found {
-				buckets[b].pa.Add(c3.Distance() / direct)
-			}
-			var c4 netsim.Cost
-			if res := dir.locate(dir.addrs[ci], place.Names[oi], &c4); res.Found {
-				buckets[b].dir.Add(c4.Distance() / direct)
+			for i := range mix.Clients {
+				ci, oi := mix.Clients[i], mix.Objects[i]
+				si := place.Servers[oi][0]
+				if ci == si {
+					continue
+				}
+				direct := space.Distance(int(addrs[ci]), int(addrs[si]))
+				if direct == 0 {
+					continue
+				}
+				b := int(direct / diameter * 10)
+				if b > 9 {
+					b = 9
+				}
+				if res, cost := env.locate(ci, place.Names[oi]); res.Found {
+					buckets[b][sys].Add(cost.Distance() / direct)
+				}
 			}
 		}
 		for b := range buckets {
-			if buckets[b].tap.N() == 0 {
+			if buckets[b]["tapestry"].N() == 0 {
 				continue
 			}
-			t.AddRow(fmt.Sprintf("%d-%d%%", b*10, (b+1)*10),
-				buckets[b].tap.Mean(), buckets[b].ch.Mean(), buckets[b].pa.Mean(), buckets[b].dir.Mean())
+			t.AddRow(fmt.Sprintf("%d-%d%%", b*10, (b+1)*10), buckets[b]["tapestry"].Mean(),
+				buckets[b]["chord"].Mean(), buckets[b]["pastry"].Mean(), buckets[b]["directory"].Mean())
 		}
 	}})
 	return d

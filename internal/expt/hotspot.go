@@ -5,6 +5,7 @@ import (
 
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
+	"tapestry/internal/overlay"
 	"tapestry/internal/stats"
 	"tapestry/internal/workload"
 )
@@ -64,7 +65,13 @@ func runHotspotCell(seed int64, n, objects, queries int) []hotspotRun {
 
 	tapOff := buildTapestry(space, n, cfgOff, bseed, false)
 	tapOn := buildTapestry(space, n, cfgOn, bseed, false)
-	dir := newDirEnvFor(tapOff)
+	// The directory baseline lives at the same client addresses, built
+	// through the overlay registry (its server takes the first free point).
+	tapAddrs := make([]netsim.Addr, len(tapOff.nodes))
+	for i, node := range tapOff.nodes {
+		tapAddrs[i] = node.Addr()
+	}
+	dir := buildOverlay("directory", space, tapAddrs, overlay.Config{Seed: bseed})
 
 	// Shared placement: `objects` objects with two replicas each, published
 	// identically in every system.
@@ -80,9 +87,7 @@ func runHotspotCell(seed int64, n, objects, queries int) []hotspotRun {
 			if err := tapOn.nodes[s].Publish(guids[i], nil); err != nil {
 				panic(err)
 			}
-			if err := dir.publish(name, dir.addrs[s], nil); err != nil {
-				panic(err)
-			}
+			dir.publish(s, name)
 		}
 	}
 
@@ -142,12 +147,11 @@ func runHotspotCell(seed int64, n, objects, queries int) []hotspotRun {
 
 	// Directory baseline: every query pays a round trip to the one server.
 	dr := hotspotRun{System: "directory", HitRate: -1}
-	dir.net.EnableLoadTracking()
+	dir.proto.Net().EnableLoadTracking()
 	dirServed := map[netsim.Addr]int64{}
 	for q := range mix.Clients {
 		ci, oi := mix.Clients[q], mix.Objects[q]
-		var cost netsim.Cost
-		res := dir.locate(dir.addrs[ci], place.Names[oi], &cost)
+		res, cost := dir.locate(ci, place.Names[oi])
 		dr.Found.Observe(res.Found)
 		if !res.Found {
 			continue
@@ -158,12 +162,14 @@ func runHotspotCell(seed int64, n, objects, queries int) []hotspotRun {
 			dr.Stretch.Add(cost.Distance() / direct)
 		}
 	}
-	for _, a := range dir.addrs {
-		dr.Load.AddInt(int(dir.net.LoadAt(a) - dirServed[a]))
+	for _, a := range tapAddrs {
+		dr.Load.AddInt(int(dir.proto.Net().LoadAt(a) - dirServed[a]))
 	}
 	// The directory server is not a client address; fold its load in
 	// explicitly — it is the hotspot the baseline exists to exhibit.
-	dr.Load.AddInt(int(dir.net.LoadAt(dir.d.Server())))
+	if server, ok := overlay.DirectoryServer(dir.proto); ok {
+		dr.Load.AddInt(int(dir.proto.Net().LoadAt(server)))
+	}
 	runs = append(runs, dr)
 	return runs
 }

@@ -35,6 +35,16 @@ type Params struct {
 	HotspotN       int
 	HotspotObjects int
 	HotspotQueries int
+
+	// E-faceoff (cross-protocol churn + Zipf storm) knobs: base population
+	// of the full cell (the half cell uses FaceoffN/2), published objects,
+	// churn epochs, Zipf queries per epoch, and the protocol selection
+	// (nil = every registered overlay protocol).
+	FaceoffN         int
+	FaceoffObjects   int
+	FaceoffEpochs    int
+	FaceoffQueries   int
+	FaceoffProtocols []string
 }
 
 // DefaultParams reproduces the paper-comparable scale.
@@ -60,6 +70,11 @@ func DefaultParams() Params {
 		HotspotN:       512,
 		HotspotObjects: 256,
 		HotspotQueries: 8192,
+
+		FaceoffN:       256,
+		FaceoffObjects: 64,
+		FaceoffEpochs:  4,
+		FaceoffQueries: 2048,
 	}
 }
 
@@ -86,6 +101,11 @@ func QuickParams() Params {
 		HotspotN:       128,
 		HotspotObjects: 64,
 		HotspotQueries: 2048,
+
+		FaceoffN:       96,
+		FaceoffObjects: 32,
+		FaceoffEpochs:  2,
+		FaceoffQueries: 512,
 	}
 }
 
@@ -128,6 +148,10 @@ var registry = []Experiment{
 	}},
 	{"E-hotspot", "HotObjects", func(p Params) Def {
 		return hotspotDef(p.HotspotN, p.HotspotObjects, p.HotspotQueries)
+	}},
+	{"E-faceoff", "Faceoff", func(p Params) Def {
+		return faceoffDef(p.FaceoffN, p.FaceoffObjects, p.FaceoffEpochs,
+			p.FaceoffQueries, p.FaceoffProtocols)
 	}},
 	{"A1", "AblationSurrogate", func(p Params) Def { return ablationSurrogateDef(p.StretchN) }},
 	{"A2", "AblationR", func(p Params) Def { return ablationRDef(p.StretchN, []int{2, 3, 4}) }},

@@ -29,6 +29,11 @@ func smallParams() Params {
 		HotspotN:       48,
 		HotspotObjects: 16,
 		HotspotQueries: 128,
+
+		FaceoffN:       48,
+		FaceoffObjects: 12,
+		FaceoffEpochs:  2,
+		FaceoffQueries: 64,
 	}
 }
 

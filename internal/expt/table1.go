@@ -3,13 +3,21 @@ package expt
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
-	"tapestry/internal/chord"
 	"tapestry/internal/ids"
-	"tapestry/internal/netsim"
+	"tapestry/internal/overlay"
 	"tapestry/internal/stats"
 	"tapestry/internal/workload"
 )
+
+// The Table 1 sweeps are protocol-parameterized: every system is built
+// through the overlay.Builder registry over the SAME addresses with the SAME
+// seed, so node index i refers to one location across all of them, and the
+// shared workload (placement + query mix) is applied verbatim to each.
+
+// table1Systems is the Table 1 comparison set in presentation order.
+var table1Systems = []string{"tapestry", "chord", "pastry", "can", "directory"}
 
 // table1HopsDef (E1) regenerates the "Hops" column of Table 1 empirically:
 // median and mean application-level hops per successful object location, per
@@ -30,56 +38,28 @@ func table1HopsDef(sizes []int, queries int) Def {
 		d.Cells = append(d.Cells, Cell{Label: fmt.Sprintf("n=%d", n), Run: func(seed int64, t *Table) {
 			rng := subRNG(seed, "workload")
 			bseed := subSeed(seed, "build")
-			// Tapestry.
-			tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), bseed, false)
-			var tapHops stats.Summary
+			space := ringSpace(n)
+			addrs := pickAddrs(space, n, rand.New(rand.NewSource(bseed)))
 			place := workload.UniformPlacement(64, 1, n, rng)
-			guids := publishTapestry(tap, place)
-			mix := workload.UniformQueries(queries, n, len(guids), rng)
-			for i := range mix.Clients {
-				res := tap.nodes[mix.Clients[i]].Locate(guids[mix.Objects[i]], nil)
-				if res.Found {
-					tapHops.AddInt(res.Hops)
+			mix := workload.UniformQueries(queries, n, len(place.Names), rng)
+
+			hops := make(map[string]*stats.Summary, len(table1Systems))
+			for _, sys := range table1Systems {
+				env := buildOverlay(sys, space, addrs, overlay.Config{Seed: bseed, Static: true})
+				for i := range place.Names {
+					env.publish(place.Servers[i][0], place.Names[i])
 				}
-			}
-			// Chord.
-			ch := buildChord(ringSpace(n), n, bseed)
-			var chordHops stats.Summary
-			chKeys := make([]uint64, len(place.Names))
-			for i, name := range place.Names {
-				chKeys[i] = chordHashOf(name, bseed)
-				_ = ch.nodes[place.Servers[i][0]].Publish(chKeys[i], nil)
-			}
-			for i := range mix.Clients {
-				if res := ch.nodes[mix.Clients[i]].Locate(chKeys[mix.Objects[i]], nil); res.Found {
-					chordHops.AddInt(res.Hops)
+				s := &stats.Summary{}
+				for i := range mix.Clients {
+					if res, _ := env.locate(mix.Clients[i], place.Names[mix.Objects[i]]); res.Found {
+						s.AddInt(res.Hops)
+					}
 				}
+				hops[sys] = s
 			}
-			// Pastry.
-			pa := buildPastry(ringSpace(n), n, bseed)
-			var pastryHops stats.Summary
-			paKeys := pastryKeys(place.Names)
-			for i := range paKeys {
-				_ = pa.nodes[place.Servers[i][0]].Publish(paKeys[i], nil)
-			}
-			for i := range mix.Clients {
-				if res := pa.nodes[mix.Clients[i]].Locate(paKeys[mix.Objects[i]], nil); res.Found {
-					pastryHops.AddInt(res.Hops)
-				}
-			}
-			// CAN (r=2).
-			cn := buildCAN(ringSpace(n), n, 2, bseed)
-			var canHops stats.Summary
-			for i := range place.Names {
-				_ = cn.nodes[place.Servers[i][0]].Publish(place.Names[i], nil)
-			}
-			for i := range mix.Clients {
-				if res := cn.nodes[mix.Clients[i]].Locate(place.Names[mix.Objects[i]], nil); res.Found {
-					canHops.AddInt(res.Hops)
-				}
-			}
-			t.AddRow(n, tapHops.Median(), tapHops.Mean(), chordHops.Mean(), pastryHops.Mean(),
-				canHops.Mean(), 2.0, math.Log2(float64(n)))
+			t.AddRow(n, hops["tapestry"].Median(), hops["tapestry"].Mean(),
+				hops["chord"].Mean(), hops["pastry"].Mean(), hops["can"].Mean(),
+				hops["directory"].Mean(), math.Log2(float64(n)))
 		}})
 	}
 	return d
@@ -105,18 +85,10 @@ func publishTapestry(env tapEnv, place workload.Placement) []ids.ID {
 	return guids
 }
 
-// pastryKeys hashes object names into the shared identifier space.
-func pastryKeys(names []string) []ids.ID {
-	out := make([]ids.ID, len(names))
-	for i, n := range names {
-		out[i] = exptSpec.Hash(n)
-	}
-	return out
-}
-
 // table1SpaceDef (E2) regenerates the "Space" column: per-node routing-table
-// entries. Expected shape: Tapestry/Pastry/Chord hold Θ(log n) entries; CAN
-// holds Θ(r). One cell per network size.
+// entries via the uniform TableSize accessor. Expected shape:
+// Tapestry/Pastry/Chord hold Θ(log n) entries; CAN holds Θ(r). One cell per
+// network size.
 func table1SpaceDef(sizes []int) Def {
 	d := Def{
 		Name: "Table1Space",
@@ -130,27 +102,19 @@ func table1SpaceDef(sizes []int) Def {
 		n := n
 		d.Cells = append(d.Cells, Cell{Label: fmt.Sprintf("n=%d", n), Run: func(seed int64, t *Table) {
 			bseed := subSeed(seed, "build")
-			tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), bseed, false)
-			var tapS stats.Summary
-			for _, node := range tap.nodes {
-				tapS.AddInt(node.Table().NeighborCount())
+			space := ringSpace(n)
+			addrs := pickAddrs(space, n, rand.New(rand.NewSource(bseed)))
+			size := make(map[string]*stats.Summary, 4)
+			for _, sys := range []string{"tapestry", "chord", "pastry", "can"} {
+				env := buildOverlay(sys, space, addrs, overlay.Config{Seed: bseed, Static: true})
+				s := &stats.Summary{}
+				for _, h := range env.nodes {
+					s.AddInt(env.proto.TableSize(h))
+				}
+				size[sys] = s
 			}
-			ch := buildChord(ringSpace(n), n, bseed)
-			var chS stats.Summary
-			for _, node := range ch.nodes {
-				chS.AddInt(node.FingerCount())
-			}
-			pa := buildPastry(ringSpace(n), n, bseed)
-			var paS stats.Summary
-			for _, node := range pa.nodes {
-				paS.AddInt(node.TableSize())
-			}
-			cn := buildCAN(ringSpace(n), n, 2, bseed)
-			var cnS stats.Summary
-			for _, node := range cn.nodes {
-				cnS.AddInt(node.NeighborCount())
-			}
-			t.AddRow(n, tapS.Mean(), tapS.Max(), chS.Mean(), paS.Mean(), cnS.Mean(), math.Log2(float64(n)))
+			t.AddRow(n, size["tapestry"].Mean(), size["tapestry"].Max(), size["chord"].Mean(),
+				size["pastry"].Mean(), size["can"].Mean(), math.Log2(float64(n)))
 		}})
 	}
 	return d
@@ -180,9 +144,8 @@ func table1InsertCostDef(sizes []int) Def {
 		n := n
 		d.Cells = append(d.Cells, Cell{Label: fmt.Sprintf("n=%d", n), Run: func(seed int64, t *Table) {
 			bseed := subSeed(seed, "build")
-			tap := buildTapestry(ringSpace(n), n, defaultTapConfig(), bseed, true)
-			ch := buildChord(ringSpace(n), n, bseed)
-			cn := buildCAN(ringSpace(n), n, 2, bseed)
+			space := ringSpace(n)
+			addrs := pickAddrs(space, n, rand.New(rand.NewSource(bseed)))
 			mean := func(costs []int) float64 {
 				var s stats.Summary
 				for _, c := range costs[len(costs)/2:] {
@@ -190,8 +153,13 @@ func table1InsertCostDef(sizes []int) Def {
 				}
 				return s.Mean()
 			}
+			cost := make(map[string]float64, 3)
+			for _, sys := range []string{"tapestry", "chord", "can"} {
+				env := buildOverlay(sys, space, addrs, overlay.Config{Seed: bseed}) // dynamic joins
+				cost[sys] = mean(env.joinMsgs)
+			}
 			l := math.Log2(float64(n))
-			t.AddRow(n, mean(tap.joinCosts), mean(ch.joinCosts), mean(cn.joinCosts), l*l)
+			t.AddRow(n, cost["tapestry"], cost["chord"], cost["can"], l*l)
 		}})
 	}
 	return d
@@ -247,8 +215,3 @@ func verdict(skew float64) string {
 	}
 	return "no"
 }
-
-// chordHashOf adapts object names to Chord's ring.
-func chordHashOf(name string, seed int64) uint64 { return chord.HashKey(name, seed) }
-
-var _ = netsim.Addr(0)

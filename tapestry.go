@@ -4,17 +4,24 @@
 // together with the substrates and baselines needed to reproduce the paper's
 // evaluation.
 //
-// The facade wraps the core overlay (internal/core) behind a small API:
-// create a Network over a metric space, Join nodes, Publish and Locate
-// objects by name, and churn membership with Leave/Fail. Every operation
-// returns exact cost accounting (messages, application-level hops, metric
-// distance traveled) from the underlying network simulator.
+// The facade wraps the unified overlay layer (internal/overlay) behind a
+// small API: create a Network over a metric space, Join nodes, Publish and
+// Locate objects by name, and churn membership with Leave/Fail. Every
+// operation returns exact cost accounting (messages, application-level hops,
+// metric distance traveled) from the underlying network simulator.
 //
 //	space := tapestry.RingSpace(4096)
 //	net, _ := tapestry.New(space, tapestry.Defaults())
 //	nodes, _ := net.Grow(1024)
 //	nodes[0].Publish("my-object")
 //	res, cost := nodes[42].Locate("my-object")
+//
+// New always builds Tapestry itself. NewProtocol returns the same
+// Network/Node surface backed by any of the paper's comparison systems —
+// Chord, Pastry, CAN or the centralized directory — so library users pick a
+// protocol the way they pick a metric space. Operations a protocol has no
+// honest implementation of return an error matching ErrUnsupported (check
+// with errors.Is); they never panic and never fake success.
 package tapestry
 
 import (
@@ -27,6 +34,7 @@ import (
 	"tapestry/internal/ids"
 	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
+	"tapestry/internal/overlay"
 )
 
 // Space is a finite metric space; overlay nodes live at its points and every
@@ -64,6 +72,54 @@ func TransitStubSpace(seed int64) Space {
 func ScaledTransitStubSpace(points int, seed int64) Space {
 	return metric.NewTransitStub(metric.ScaledTransitStub(points), rand.New(rand.NewSource(seed)))
 }
+
+// Protocol selects the overlay system backing a Network.
+type Protocol int
+
+const (
+	// Tapestry is the paper's own protocol: a DOLR with routing locality,
+	// in-network object pointers, soft-state maintenance and the serving
+	// layer. The full facade surface is available.
+	Tapestry Protocol = iota
+	// Chord is the DHT baseline [Stoica et al., SIGCOMM'01]: O(log n) hops
+	// and state, no locality. Supports join, leave, fail and maintenance
+	// (ring re-formation); no unpublish, multicast or locality queries.
+	Chord
+	// Pastry is the prefix-routing baseline [Rowstron & Druschel,
+	// Middleware'01] built statically with proximity neighbor selection.
+	// Static snapshot: publish and locate only.
+	Pastry
+	// CAN is the coordinate-space baseline [Ratnasamy et al., SIGCOMM'01].
+	// Supports dynamic joins (zone splits); leave and fail are honestly
+	// declined (the one-zone-per-node model cannot merge zones).
+	CAN
+	// Directory is the centralized strawman the paper opens with: clients
+	// join, leave and fail freely, the single server answers everything.
+	Directory
+)
+
+// String returns the registry name of the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case Tapestry:
+		return "tapestry"
+	case Chord:
+		return "chord"
+	case Pastry:
+		return "pastry"
+	case CAN:
+		return "can"
+	case Directory:
+		return "directory"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// ErrUnsupported is matched (via errors.Is) by every error returned from an
+// operation the backing protocol declines — e.g. Leave on a CAN-backed
+// Network, or Multicast on anything but Tapestry.
+var ErrUnsupported = overlay.ErrUnsupported
 
 // Cost is the expense ledger of one operation: messages, application-level
 // hops, and total metric distance.
@@ -129,46 +185,100 @@ func (c Config) toCore() core.Config {
 	return cc
 }
 
-// Network is one Tapestry overlay over a simulated metric space.
-type Network struct {
-	mesh *core.Mesh
-	sim  *netsim.Network
-
-	mu  sync.Mutex
-	rng *rand.Rand
+// toOverlay maps the public configuration onto the overlay builder's.
+func (c Config) toOverlay(p Protocol) overlay.Config {
+	oc := overlay.Config{
+		Spec: ids.Spec{Base: c.Base, Digits: c.Digits},
+		Seed: c.Seed,
+	}
+	if p == Tapestry {
+		cc := c.toCore()
+		oc.Core = &cc
+	}
+	return oc
 }
 
-// New creates an empty overlay over the space.
+// Network is one overlay instance over a simulated metric space, backed by
+// the protocol it was created with.
+type Network struct {
+	kind  Protocol
+	proto overlay.Protocol
+	mesh  *core.Mesh // non-nil only for Tapestry (extended surface)
+	sim   *netsim.Network
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	free []int // shuffled free-address stack (see freeAddr)
+}
+
+// New creates an empty Tapestry overlay over the space.
 func New(space Space, cfg Config) (*Network, error) {
-	sim := netsim.New(space)
-	mesh, err := core.NewMesh(sim, cfg.toCore())
+	return NewProtocol(space, Tapestry, cfg)
+}
+
+// NewProtocol creates an empty overlay over the space, backed by any of the
+// five location systems. The returned Network exposes the same surface for
+// every protocol; operations outside the protocol's capabilities return an
+// error matching ErrUnsupported (methods without an error return document
+// their degraded behavior).
+func NewProtocol(space Space, p Protocol, cfg Config) (*Network, error) {
+	b, err := overlay.Lookup(p.String())
 	if err != nil {
 		return nil, err
 	}
-	return &Network{mesh: mesh, sim: sim, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))}, nil
+	sim := netsim.New(space)
+	proto, err := b.New(sim, cfg.toOverlay(p))
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		kind:  p,
+		proto: proto,
+		sim:   sim,
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+	}
+	nw.mesh, _ = overlay.CoreMesh(proto)
+	return nw, nil
 }
+
+// Protocol reports which overlay system backs this network.
+func (nw *Network) Protocol() Protocol { return nw.kind }
+
+// Caps renders the backing protocol's capability set as a comma-separated
+// list (e.g. "join,leave,fail,unpublish,maintain,locality,cache"; a protocol
+// with no dynamic capabilities reports "static"). Programs should prefer
+// attempting an operation and checking errors.Is(err, ErrUnsupported).
+func (nw *Network) Caps() string { return nw.proto.Caps().String() }
 
 // Node is one overlay participant.
 type Node struct {
 	nw    *Network
-	inner *core.Node
+	h     overlay.Handle
+	inner *core.Node // non-nil only on Tapestry-backed networks
 }
 
-// ID returns the node's identifier rendered as a digit string.
-func (n *Node) ID() string { return n.inner.ID().String() }
+func (nw *Network) wrap(h overlay.Handle) *Node {
+	n := &Node{nw: nw, h: h}
+	n.inner, _ = overlay.CoreNode(h)
+	return n
+}
+
+// ID returns the node's identifier rendered as a digit string (or the
+// backing protocol's identifier rendering).
+func (n *Node) ID() string { return n.h.Label() }
 
 // Addr returns the node's location (point index in the metric space).
-func (n *Node) Addr() int { return int(n.inner.Addr()) }
+func (n *Node) Addr() int { return int(n.h.Addr()) }
 
 // Size returns the current number of overlay members.
-func (nw *Network) Size() int { return nw.mesh.Size() }
+func (nw *Network) Size() int { return len(nw.proto.Handles()) }
 
 // Nodes returns all current members.
 func (nw *Network) Nodes() []*Node {
-	inner := nw.mesh.Nodes()
-	out := make([]*Node, len(inner))
-	for i, n := range inner {
-		out[i] = &Node{nw: nw, inner: n}
+	hs := nw.proto.Handles()
+	out := make([]*Node, len(hs))
+	for i, h := range hs {
+		out[i] = nw.wrap(h)
 	}
 	return out
 }
@@ -187,36 +297,38 @@ func (nw *Network) RegionOf(addr int) int {
 }
 
 // AddNode inserts a node at the given point: the first call bootstraps the
-// overlay, later calls run the full dynamic insertion protocol through a
-// random gateway. It returns the node and the insertion cost.
+// overlay, later calls run the protocol's dynamic insertion through a
+// random gateway. It returns the node and the insertion cost. Protocols
+// without dynamic insertion (Pastry) decline with ErrUnsupported — use one
+// bulk Grow call instead.
 func (nw *Network) AddNode(addr int) (*Node, Cost, error) {
-	nw.mu.Lock()
-	id := nw.mesh.Spec().Random(nw.rng)
-	for nw.mesh.NodeByID(id) != nil {
-		id = nw.mesh.Spec().Random(nw.rng)
-	}
-	var gateway *core.Node
-	if nodes := nw.mesh.Nodes(); len(nodes) > 0 {
-		gateway = nodes[nw.rng.Intn(len(nodes))]
-	}
-	nw.mu.Unlock()
-
-	if gateway == nil {
-		n, err := nw.mesh.Bootstrap(id, netsim.Addr(addr))
-		if err != nil {
-			return nil, Cost{}, err
-		}
-		return &Node{nw: nw, inner: n}, Cost{}, nil
-	}
-	n, cost, err := nw.mesh.Join(gateway, id, netsim.Addr(addr))
+	h, cost, err := nw.proto.Join(netsim.Addr(addr))
 	if err != nil {
 		return nil, costOf(cost), err
 	}
-	return &Node{nw: nw, inner: n}, costOf(cost), nil
+	return nw.wrap(h), costOf(cost), nil
 }
 
-// Grow adds count nodes at distinct random free points and returns them.
+// Grow adds count nodes at distinct random free points and returns them. On
+// an empty overlay the whole batch is built in one pass (the only way to
+// populate protocols without dynamic insertion); later calls insert
+// dynamically one by one.
 func (nw *Network) Grow(count int) ([]*Node, error) {
+	if nw.Size() == 0 {
+		addrs, err := nw.freeAddrs(count)
+		if err != nil {
+			return nil, err
+		}
+		hs, _, err := nw.proto.Build(addrs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*Node, len(hs))
+		for i, h := range hs {
+			out[i] = nw.wrap(h)
+		}
+		return out, nil
+	}
 	out := make([]*Node, 0, count)
 	for i := 0; i < count; i++ {
 		addr, err := nw.freeAddr()
@@ -232,43 +344,123 @@ func (nw *Network) Grow(count int) ([]*Node, error) {
 	return out, nil
 }
 
+// isFreeLocked reports whether a point hosts no member (the directory's
+// server also occupies its point). Callers hold nw.mu.
+func (nw *Network) isFreeLocked(a int) bool {
+	return !nw.sim.Alive(netsim.Addr(a))
+}
+
+// freeAddr allocates one random free point. The allocator is a shuffled
+// stack of candidate addresses: each call pops until it hits a still-free
+// point, and the stack is rebuilt (reshuffled over the currently free set)
+// only when exhausted — so a full overlay construction costs O(size) total
+// instead of the O(size) per call a linear probe pays on a dense space
+// (quadratic growth; see BenchmarkFreeAddr).
 func (nw *Network) freeAddr() (int, error) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	size := nw.sim.Size()
-	start := nw.rng.Intn(size)
-	for i := 0; i < size; i++ {
-		a := (start + i) % size
-		if nw.mesh.NodeAt(netsim.Addr(a)) == nil && !nw.sim.Alive(netsim.Addr(a)) {
-			return a, nil
+	return nw.freeAddrLocked()
+}
+
+func (nw *Network) freeAddrLocked() (int, error) {
+	for pass := 0; pass < 2; pass++ {
+		for len(nw.free) > 0 {
+			a := nw.free[len(nw.free)-1]
+			nw.free = nw.free[:len(nw.free)-1]
+			if nw.isFreeLocked(a) {
+				return a, nil
+			}
 		}
+		// Rebuild over the points currently free — departures (Leave/Fail)
+		// may have freed addresses already consumed from the last stack.
+		for a := 0; a < nw.sim.Size(); a++ {
+			if nw.isFreeLocked(a) {
+				nw.free = append(nw.free, a)
+			}
+		}
+		nw.rng.Shuffle(len(nw.free), func(i, j int) {
+			nw.free[i], nw.free[j] = nw.free[j], nw.free[i]
+		})
 	}
 	return 0, errors.New("tapestry: metric space is full")
 }
 
-// guid hashes an object name into the identifier namespace.
-func (nw *Network) guid(name string) ids.ID { return nw.mesh.Spec().Hash(name) }
+// freeAddrs allocates count distinct free points for a bulk build. The
+// pending picks are not yet attached to the network, so a mid-batch stack
+// rebuild must not hand them out again.
+func (nw *Network) freeAddrs(count int) ([]netsim.Addr, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	pending := make(map[int]bool, count)
+	out := make([]netsim.Addr, 0, count)
+	for len(out) < count {
+		a, err := nw.freeAddrLocked()
+		if err != nil {
+			return nil, err
+		}
+		if pending[a] {
+			// The stack was rebuilt mid-batch and re-listed a pending pick;
+			// if every remaining free point is pending, the space is full.
+			if len(pending) >= nw.spaceFreeLocked() {
+				return nil, errors.New("tapestry: metric space is full")
+			}
+			continue
+		}
+		pending[a] = true
+		out = append(out, netsim.Addr(a))
+	}
+	return out, nil
+}
+
+// spaceFreeLocked counts currently free points. Callers hold nw.mu.
+func (nw *Network) spaceFreeLocked() int {
+	free := 0
+	for a := 0; a < nw.sim.Size(); a++ {
+		if nw.isFreeLocked(a) {
+			free++
+		}
+	}
+	return free
+}
 
 // Publish announces that this node stores a replica of the named object.
 func (n *Node) Publish(name string) (Cost, error) {
-	var c netsim.Cost
-	err := n.inner.Publish(n.nw.guid(name), &c)
-	return costOf(&c), err
+	c, err := n.nw.proto.Publish(n.h, name)
+	return costOf(c), err
 }
 
 // PublishLocal additionally publishes a stub-local branch (Section 6.3); on
-// metrics without region structure it behaves like Publish.
+// metrics without region structure it behaves like Publish. Protocols
+// without locality structure (everything but Tapestry) decline with
+// ErrUnsupported.
 func (n *Node) PublishLocal(name string) (Cost, error) {
+	if n.inner == nil {
+		return Cost{}, fmt.Errorf("tapestry: %s: %w", n.nw.kind, ErrUnsupported)
+	}
 	var c netsim.Cost
 	err := n.inner.PublishLocal(n.nw.guid(name), &c)
 	return costOf(&c), err
 }
 
-// Unpublish withdraws this node's replica of the named object.
+// Unpublish withdraws this node's replica of the named object. The
+// signature predates protocol selection and carries no error, so failures
+// are reported through the Cost: a capability refusal (Chord, Pastry, CAN —
+// the soft state simply persists) returns a zero Cost, and a genuine
+// failure (e.g. a withdrawal RPC from an already-failed directory client)
+// returns the cost of the failed attempt with the registration left in
+// place.
 func (n *Node) Unpublish(name string) Cost {
-	var c netsim.Cost
-	n.inner.Unpublish(n.nw.guid(name), &c)
-	return costOf(&c)
+	c, _ := n.nw.proto.Unpublish(n.h, name)
+	return costOf(c)
+}
+
+// UnpublishChecked is Unpublish with the error surfaced: a capability
+// refusal matches ErrUnsupported, and genuine failures (e.g. a withdrawal
+// RPC from an already-failed directory client) report what went wrong
+// instead of masquerading as success.
+func (n *Node) UnpublishChecked(name string) (Cost, error) {
+	c, err := n.nw.proto.Unpublish(n.h, name)
+	return costOf(c), err
 }
 
 // Result reports an object location.
@@ -280,29 +472,45 @@ type Result struct {
 	FromCache  bool // answered from a cached location mapping (serving layer)
 }
 
+func resultOf(r overlay.Result) Result {
+	return Result{Found: r.Found, ServerID: r.ServerID, ServerAddr: int(r.Server),
+		Hops: r.Hops, FromCache: r.FromCache}
+}
+
 // Locate routes a query for the named object toward its root, stopping at
-// the first object pointer and proceeding to the closest replica.
+// the first object pointer and proceeding to the closest replica (or the
+// backing protocol's equivalent lookup).
 func (n *Node) Locate(name string) (Result, Cost) {
-	var c netsim.Cost
-	res := n.inner.Locate(n.nw.guid(name), &c)
-	return Result{Found: res.Found, ServerID: res.Server.String(),
-		ServerAddr: int(res.ServerAddr), Hops: res.Hops, FromCache: res.FromCache}, costOf(&c)
+	res, c := n.nw.proto.Locate(n.h, name)
+	return resultOf(res), costOf(c)
 }
 
 // LocateLocal is the two-phase Section 6.3 query: stub-restricted first,
-// wide-area on a miss. The bool reports whether the query stayed local.
+// wide-area on a miss. The bool reports whether the query stayed local. On
+// protocols without locality structure it behaves exactly like Locate (and
+// never reports local).
 func (n *Node) LocateLocal(name string) (Result, Cost, bool) {
+	if n.inner == nil {
+		res, cost := n.Locate(name)
+		return res, cost, false
+	}
 	var c netsim.Cost
 	res, local := n.inner.LocateLocal(n.nw.guid(name), &c)
 	return Result{Found: res.Found, ServerID: res.Server.String(),
-		ServerAddr: int(res.ServerAddr), Hops: res.Hops}, costOf(&c), local
+		ServerAddr: int(res.ServerAddr), Hops: res.Hops,
+		FromCache: res.FromCache}, costOf(&c), local
 }
 
 // Multicast contacts every overlay node whose identifier shares the first
 // prefixLen digits of this node's ID (acknowledged multicast, Section 4.1),
 // invoking fn with each reached node's ID. It returns the number of nodes
-// reached; the call returns only after every acknowledgment is in.
+// reached; the call returns only after every acknowledgment is in. Only
+// Tapestry structures its membership by prefix; every other protocol
+// declines with ErrUnsupported.
 func (n *Node) Multicast(prefixLen int, fn func(nodeID string)) (int, Cost, error) {
+	if n.inner == nil {
+		return 0, Cost{}, fmt.Errorf("tapestry: %s: %w", n.nw.kind, ErrUnsupported)
+	}
 	var c netsim.Cost
 	var wrapped func(*core.Node)
 	if fn != nil {
@@ -319,28 +527,38 @@ func (n *Node) Multicast(prefixLen int, fn func(nodeID string)) (int, Cost, erro
 
 // Leave removes the node gracefully (two-phase voluntary delete, Section
 // 5.1): neighbors repair their tables and objects remain available.
+// Protocols without graceful departure (Pastry, CAN) decline with
+// ErrUnsupported.
 func (n *Node) Leave() (Cost, error) {
-	var c netsim.Cost
-	err := n.inner.Leave(&c)
-	return costOf(&c), err
+	c, err := n.nw.proto.Leave(n.h)
+	return costOf(c), err
 }
 
 // Fail kills the node without notice (Section 5.2). The overlay discovers
 // the corpse lazily; objects rooted there stay unavailable until the next
-// maintenance epoch republishes them.
-func (nw *Network) Fail(n *Node) { nw.mesh.Fail(n.inner) }
+// maintenance epoch republishes them. Protocols that cannot survive
+// involuntary failure (Pastry, CAN) decline: the node stays alive and the
+// call is a no-op.
+func (nw *Network) Fail(n *Node) {
+	_ = nw.proto.Fail(n.h) // capability refusal: documented no-op here
+}
 
-// RunMaintenance advances one soft-state epoch: expired pointers vanish and
-// every served object is republished.
+// RunMaintenance advances one soft-state epoch: expired pointers vanish,
+// every served object is republished (Tapestry), or the ring re-forms among
+// survivors (Chord). Protocols without maintenance return a zero Cost.
 func (nw *Network) RunMaintenance() Cost {
-	var c netsim.Cost
-	nw.mesh.RunMaintenanceEpoch(&c)
-	return costOf(&c)
+	c, err := nw.proto.Maintain()
+	_ = err // capability refusal: documented no-op for this signature
+	return costOf(c)
 }
 
 // SweepFailures makes every node probe its neighbors and repair dead links
-// (the heartbeat pass of Section 6.5). Returns the number of links removed.
+// (the heartbeat pass of Section 6.5). Returns the number of links removed;
+// zero on protocols without link repair.
 func (nw *Network) SweepFailures() int {
+	if nw.mesh == nil {
+		return 0
+	}
 	removed := 0
 	for _, n := range nw.mesh.Nodes() {
 		removed += n.SweepDead(nil)
@@ -348,9 +566,16 @@ func (nw *Network) SweepFailures() int {
 	return removed
 }
 
+// guid hashes an object name into the identifier namespace (Tapestry only).
+func (nw *Network) guid(name string) ids.ID { return nw.mesh.Spec().Hash(name) }
+
 // CheckConsistency audits Property 1 (no false holes) and root uniqueness
 // over sample keys, returning human-readable violations (empty = healthy).
+// Only Tapestry defines these invariants; other protocols report nothing.
 func (nw *Network) CheckConsistency() []string {
+	if nw.mesh == nil {
+		return nil
+	}
 	out := nw.mesh.AuditProperty1()
 	nw.mu.Lock()
 	keys := []ids.ID{
@@ -377,19 +602,16 @@ type Stats struct {
 
 // Stats returns a snapshot of overlay-wide statistics.
 func (nw *Network) Stats() Stats {
-	nodes := nw.mesh.Nodes()
-	s := Stats{Nodes: len(nodes), TotalMessages: nw.sim.TotalMessages()}
-	links := 0
-	for _, n := range nodes {
-		links += n.Table().NeighborCount()
-		s.TotalPointers += n.PointerCount()
-		s.CachedMappings += n.CacheSize()
+	os := nw.proto.Stats()
+	return Stats{
+		Nodes:           os.Nodes,
+		TotalMessages:   os.TotalMessages,
+		MeanTableLinks:  os.MeanTableEntries,
+		TotalPointers:   os.TotalPointers,
+		CachedMappings:  os.CachedMappings,
+		LocateCacheHits: os.CacheHits,
+		LocateCacheMiss: os.CacheMisses,
 	}
-	if len(nodes) > 0 {
-		s.MeanTableLinks = float64(links) / float64(len(nodes))
-	}
-	s.LocateCacheHits, s.LocateCacheMiss = nw.mesh.LocateCacheStats()
-	return s
 }
 
 // String renders the stats compactly; serving-layer counters appear only
