@@ -34,6 +34,8 @@ func main() {
 	scaleNodes := flag.Int("scale-nodes", 0, "E-scale: initial overlay population (0 = params default)")
 	hotspotN := flag.Int("hotspot-n", 0, "E-hotspot: mesh size of the full cell (0 = params default)")
 	hotspotQueries := flag.Int("hotspot-queries", 0, "E-hotspot: Zipf queries of the full cell (0 = params default)")
+	planetNodes := flag.Int("planet-nodes", 0, "E-planet: overlay population of the virtual-time run (0 = params default)")
+	planetObjects := flag.Int("planet-objects", 0, "E-planet: published objects (0 = params default)")
 	protocol := flag.String("protocol", "", "E-faceoff: comma-separated overlay protocols to face off (empty = all registered)")
 	flag.Parse()
 
@@ -57,6 +59,15 @@ func main() {
 	if *hotspotQueries > 0 {
 		params.HotspotQueries = *hotspotQueries
 	}
+	if *planetNodes > 0 {
+		params.PlanetNodes = *planetNodes
+	}
+	if *planetObjects > 0 {
+		params.PlanetObjects = *planetObjects
+	}
+	// The sampled static build parallelises under the same worker budget as
+	// the cell pool; its output is byte-identical for every value.
+	params.PlanetBuildWorkers = *workers
 	if *protocol != "" {
 		params.FaceoffProtocols = strings.Split(*protocol, ",")
 		if err := expt.ValidateProtocols(params.FaceoffProtocols); err != nil {

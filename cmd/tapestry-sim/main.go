@@ -44,10 +44,13 @@ func main() {
 	format := flag.String("format", "table", "output format: table | json | csv")
 	scalePoints := flag.Int("scale-points", 0, "with -run E-scale: metric-space points of the full churn cell; without -run: transit-stub size override (0 = auto)")
 	scaleNodes := flag.Int("scale-nodes", 0, "with -run E-scale: initial overlay population (0 = params default)")
+	planetNodes := flag.Int("planet-nodes", 0, "with -run E-planet: overlay population of the virtual-time run (0 = params default)")
+	planetObjects := flag.Int("planet-objects", 0, "with -run E-planet: published objects (0 = params default)")
 	flag.Parse()
 
 	if *run != "" {
-		runExperiments(*run, *quick, *seed, *workers, *format, *scalePoints, *scaleNodes)
+		runExperiments(*run, *quick, *seed, *workers, *format,
+			*scalePoints, *scaleNodes, *planetNodes, *planetObjects)
 		return
 	}
 
@@ -170,7 +173,8 @@ func main() {
 }
 
 // runExperiments reproduces paper tables through the shared registry engine.
-func runExperiments(pattern string, quick bool, seed int64, workers int, format string, scalePoints, scaleNodes int) {
+func runExperiments(pattern string, quick bool, seed int64, workers int, format string,
+	scalePoints, scaleNodes, planetNodes, planetObjects int) {
 	params := expt.DefaultParams()
 	if quick {
 		params = expt.QuickParams()
@@ -181,6 +185,13 @@ func runExperiments(pattern string, quick bool, seed int64, workers int, format 
 	if scaleNodes > 0 {
 		params.ScaleNodes = scaleNodes
 	}
+	if planetNodes > 0 {
+		params.PlanetNodes = planetNodes
+	}
+	if planetObjects > 0 {
+		params.PlanetObjects = planetObjects
+	}
+	params.PlanetBuildWorkers = workers
 	r := expt.Runner{Seed: seed, Workers: workers, Params: params}
 	if err := r.RunAndEmit(os.Stdout, pattern, format); err != nil {
 		fail(err)

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+)
+
+// runEventStorm builds a static mesh, attaches the discrete-event engine,
+// and drives an interleaved storm of scheduled joins, voluntary leaves,
+// crashes, repair sweeps, maintenance epochs and locates through one
+// deterministic virtual-time run. It returns a full trace: every operation's
+// outcome stamped with its virtual completion time, the engine counters, and
+// the final mesh fingerprint.
+func runEventStorm(t *testing.T, seed int64) string {
+	t.Helper()
+	cfg := testConfig()
+	cfg.PointerTTL = 10 // pointers must survive the whole storm
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(4096)
+	net := netsim.New(space)
+
+	const base = 40
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, base)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	parts := StaticParticipants(cfg.Spec, addrs, rng)
+	m, err := BuildStatic(net, cfg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Object population, published in direct-call mode before the run.
+	nodes := m.Nodes()
+	guids := make([]ids.ID, 12)
+	for i := range guids {
+		guids[i] = cfg.Spec.Hash(fmt.Sprintf("storm-%d", i))
+		if err := nodes[rng.Intn(base/2)].Publish(guids[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e := netsim.NewEngine(seed)
+	net.AttachEngine(e)
+
+	var trace strings.Builder // written only by ops: one runs at a time
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(&trace, "t=%.3f ", e.Now())
+		fmt.Fprintf(&trace, format+"\n", args...)
+	}
+
+	// Pre-draw every decision so the schedule itself is seed-deterministic.
+	// Victims come from the back half of the initial population; clients and
+	// gateways from the front half, which never departs.
+	for i := 0; i < 6; i++ {
+		gw := nodes[rng.Intn(base/2)]
+		id := cfg.Spec.Random(rng)
+		for m.NodeByID(id) != nil {
+			id = cfg.Spec.Random(rng)
+		}
+		addr := netsim.Addr(perm[base+i])
+		at := 1 + rng.Float64()*40
+		e.At(at, func() {
+			_, cost, err := m.Join(gw, id, addr)
+			logf("join %v via %v err=%v msgs=%d vlat=%.3f", id, gw.id, err != nil, cost.Messages(), cost.VirtualLatency())
+		})
+	}
+	for i := 0; i < 8; i++ {
+		victim := nodes[base/2+rng.Intn(base/2)]
+		crash := i%2 == 0
+		at := 2 + rng.Float64()*40
+		e.At(at, func() {
+			if crash {
+				m.Fail(victim)
+				logf("crash %v", victim.id)
+			} else {
+				err := victim.Leave(nil)
+				logf("leave %v err=%v", victim.id, err != nil)
+			}
+		})
+	}
+	// Repair sweeps and a maintenance epoch interleave with the churn.
+	for _, at := range []float64{15, 30, 45} {
+		at := at
+		e.At(at, func() {
+			removed := 0
+			for _, n := range m.Nodes() {
+				removed += n.SweepDead(nil)
+			}
+			logf("sweep removed=%d live=%d", removed, m.Size())
+		})
+	}
+	e.At(48, func() {
+		m.RunMaintenanceEpoch(nil)
+		logf("maintenance epoch=%d", net.Epoch())
+	})
+	for i := 0; i < 24; i++ {
+		client := nodes[rng.Intn(base/2)]
+		g := guids[rng.Intn(len(guids))]
+		at := 3 + rng.Float64()*50
+		e.At(at, func() {
+			var cost netsim.Cost
+			res := client.Locate(g, &cost)
+			logf("locate %v from %v found=%v hops=%d vlat=%.3f",
+				g, client.id, res.Found, res.Hops, cost.VirtualLatency())
+		})
+	}
+
+	e.Run()
+	fmt.Fprintf(&trace, "engine %v\n", e.Stats())
+	trace.WriteString(meshFingerprint(m))
+	return trace.String()
+}
+
+// TestCoreEventTwinReplay is the determinism contract of the event-driven
+// backend at the protocol level: two identically-seeded storms of
+// interleaved join/leave/crash/repair/locate operations must produce
+// bit-identical traces AND bit-identical final meshes — independent of the
+// host scheduler, because the engine resumes exactly one operation at a
+// time and breaks same-time ties from a seeded stream.
+func TestCoreEventTwinReplay(t *testing.T) {
+	a := runEventStorm(t, 61)
+	b := runEventStorm(t, 61)
+	if a != b {
+		t.Fatalf("twin event-driven runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if c := runEventStorm(t, 62); c == a {
+		t.Fatal("different seeds produced identical storms (seeding is dead)")
+	}
+}
+
+// TestCoreEventStormHealthy runs the storm (under -race in CI, where the
+// scheduler handoffs between parked operations are checked) and then audits
+// the surviving mesh: after the interleaved churn plus sweeps, Property 1
+// must hold and the objects must still be locatable from the stable nodes.
+func TestCoreEventStormHealthy(t *testing.T) {
+	cfg := testConfig()
+	cfg.PointerTTL = 10
+	rng := rand.New(rand.NewSource(63))
+	space := metric.NewRing(4096)
+	net := netsim.New(space)
+	const base = 32
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, base)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	m, err := BuildStatic(net, cfg, StaticParticipants(cfg.Spec, addrs, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := m.Nodes()
+	guid := cfg.Spec.Hash("storm-health")
+	if err := nodes[3].Publish(guid, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	e := netsim.NewEngine(63)
+	net.AttachEngine(e)
+	for i := 0; i < 6; i++ {
+		victim := nodes[base/2+i]
+		crash := i%2 == 0
+		e.At(float64(1+i), func() {
+			if crash {
+				m.Fail(victim)
+			} else {
+				_ = victim.Leave(nil)
+			}
+		})
+	}
+	e.At(10, func() {
+		for _, n := range m.Nodes() {
+			n.SweepDead(nil)
+		}
+	})
+	e.At(12, func() { m.RunMaintenanceEpoch(nil) })
+	found := 0
+	for i := 0; i < 8; i++ {
+		client := nodes[i]
+		e.At(14+float64(i), func() {
+			if res := client.Locate(guid, nil); res.Found {
+				found++
+			}
+		})
+	}
+	e.Run()
+
+	if found != 8 {
+		t.Fatalf("only %d/8 post-churn locates found the object", found)
+	}
+	if v := m.AuditProperty1(); len(v) != 0 {
+		t.Fatalf("Property 1 violated after event-driven churn:\n%v", v[:min(5, len(v))])
+	}
+}

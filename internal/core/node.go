@@ -119,6 +119,10 @@ type Config struct {
 	// node derives a private SplitMix64 stream from Seed and its ID, so
 	// concurrent Locate calls never serialize on a shared RNG).
 	Seed int64
+	// BuildWorkers is the worker-shard count for the parallel static bulk
+	// constructions (BuildStatic, BuildStaticSampled); 0 means one worker
+	// per CPU. The built mesh is byte-identical for every value.
+	BuildWorkers int
 }
 
 // DefaultConfig returns the configuration used throughout the paper-scale
@@ -168,6 +172,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.LocateCacheTTL < 0 {
 		return c, errors.New("core: LocateCacheTTL must be >= 0 (0 follows PointerTTL)")
+	}
+	if c.BuildWorkers < 0 {
+		return c, errors.New("core: BuildWorkers must be >= 0 (0 = one per CPU)")
 	}
 	if c.LocateCacheTTL == 0 {
 		c.LocateCacheTTL = c.PointerTTL
@@ -227,7 +234,36 @@ func (n *Node) entryFor(viewer netsim.Addr) route.Entry {
 	return route.Entry{ID: n.id, Addr: n.addr, Distance: n.mesh.net.Distance(viewer, n.addr)}
 }
 
+// idShards is the number of independent locks over the ID registry. 64 keeps
+// shard contention negligible at 100k nodes while the array of mutexes stays
+// a few cache lines.
+const idShards = 64
+
+// idShard is one lock-striped slice of the ID -> node registry. Keys are
+// ids.ID values directly (a comparable single-string struct), so lookups
+// never pay the String() formatting allocation the old map[string] did.
+type idShard struct {
+	mu sync.Mutex
+	m  map[ids.ID]*Node
+}
+
+// idShardIndex hashes an ID to its registry shard (FNV-1a over the digits —
+// no allocation, and IDs are short).
+func idShardIndex(id ids.ID) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < id.Len(); i++ {
+		h = (h ^ uint64(id.Digit(i))) * 1099511628211
+	}
+	return int(h % idShards)
+}
+
 // Mesh is one Tapestry overlay instance.
+//
+// The membership registry is built not to serialize 100k nodes on a global
+// lock: the address -> node map is a flat slice of atomic pointers (NodeAt —
+// the per-message hot path inside rpc — is one lock-free load), the ID ->
+// node map is lock-striped across idShards mutexes, and the size is a
+// maintained atomic counter.
 type Mesh struct {
 	cfg Config
 	net *netsim.Network
@@ -237,9 +273,12 @@ type Mesh struct {
 	// are an index into a slice regardless of the metric representation.
 	regions []int
 
-	mu     sync.RWMutex
-	byID   map[string]*Node
-	byAddr map[netsim.Addr]*Node
+	// byAddr[a] is the node hosted at address a, nil when vacant. Sized by
+	// the network at construction; slots flip with CAS so duplicate-address
+	// registration is detected without any lock.
+	byAddr []atomic.Pointer[Node]
+	byID   [idShards]idShard
+	size   atomic.Int64
 
 	// Serving-layer counters: one observation per Locate on a cache-enabled
 	// mesh. Atomics so the query hot path never takes a mesh-wide lock.
@@ -253,13 +292,16 @@ func NewMesh(net *netsim.Network, cfg Config) (*Mesh, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Mesh{
+	m := &Mesh{
 		cfg:     cfg,
 		net:     net,
 		regions: metric.Regions(net.Space()),
-		byID:    make(map[string]*Node),
-		byAddr:  make(map[netsim.Addr]*Node),
-	}, nil
+		byAddr:  make([]atomic.Pointer[Node], net.Size()),
+	}
+	for i := range m.byID {
+		m.byID[i].m = make(map[ids.ID]*Node)
+	}
+	return m, nil
 }
 
 // Config returns the mesh configuration.
@@ -274,18 +316,20 @@ func (m *Mesh) Spec() ids.Spec { return m.cfg.Spec }
 // Bootstrap creates the first node of the overlay. It fails if the overlay
 // already has members (use Join) or the address or ID is taken.
 func (m *Mesh) Bootstrap(id ids.ID, addr netsim.Addr) (*Node, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.byID) != 0 {
+	if m.Size() != 0 {
 		return nil, errors.New("core: mesh already bootstrapped; use Join")
 	}
-	n := m.newNodeLocked(id, addr)
+	n := m.newNode(id, addr)
 	n.state = stateActive
+	if err := m.publish(n); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
 
-// newNodeLocked allocates and registers a node; the caller holds m.mu.
-func (m *Mesh) newNodeLocked(id ids.ID, addr netsim.Addr) *Node {
+// newNode allocates a node that is NOT yet in the registry. Every field a
+// concurrent reader may touch must be set before publish makes it visible.
+func (m *Mesh) newNode(id ids.ID, addr netsim.Addr) *Node {
 	n := &Node{
 		mesh:      m,
 		id:        id,
@@ -299,10 +343,33 @@ func (m *Mesh) newNodeLocked(id ids.ID, addr netsim.Addr) *Node {
 	if m.cfg.LocateCacheCap > 0 {
 		n.cache = newLocateCache(m.cfg.LocateCacheCap, m.cfg.LocateCacheTTL)
 	}
-	m.byID[id.String()] = n
-	m.byAddr[addr] = n
-	m.net.Attach(addr)
 	return n
+}
+
+// publish inserts a fully-initialized node into the registry, enforcing ID
+// and address uniqueness, and attaches its address to the network. The ID
+// shard is claimed first and the address slot second: on an address clash
+// the ID entry is rolled back, so a failed registration is never reachable
+// through NodeAt (the path every message resolution takes); the transient
+// NodeByID visibility only audits could observe is harmless.
+func (m *Mesh) publish(n *Node) error {
+	sh := &m.byID[idShardIndex(n.id)]
+	sh.mu.Lock()
+	if _, dup := sh.m[n.id]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("core: node-ID %v already in use", n.id)
+	}
+	sh.m[n.id] = n
+	sh.mu.Unlock()
+	if !m.byAddr[n.addr].CompareAndSwap(nil, n) {
+		sh.mu.Lock()
+		delete(sh.m, n.id)
+		sh.mu.Unlock()
+		return fmt.Errorf("core: address %d already hosts a node", n.addr)
+	}
+	m.size.Add(1)
+	m.net.Attach(n.addr)
+	return nil
 }
 
 // register validates uniqueness and creates an inserting node. The node's
@@ -310,62 +377,67 @@ func (m *Mesh) newNodeLocked(id ids.ID, addr netsim.Addr) *Node {
 // becomes visible in the registry: a concurrent surrogate walk may reach the
 // node the instant it is published, and must be able to bounce off it.
 func (m *Mesh) register(id ids.ID, addr netsim.Addr, alpha ids.Prefix, psur route.Entry) (*Node, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, dup := m.byID[id.String()]; dup {
-		return nil, fmt.Errorf("core: node-ID %v already in use", id)
-	}
-	if _, dup := m.byAddr[addr]; dup {
-		return nil, fmt.Errorf("core: address %d already hosts a node", addr)
-	}
-	n := m.newNodeLocked(id, addr)
+	n := m.newNode(id, addr)
 	n.alpha = alpha
 	n.psurrogate = psur
+	if err := m.publish(n); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
 
-// unregister removes a departed node from the registry.
+// unregister removes a departed node from the registry (idempotent).
 func (m *Mesh) unregister(n *Node) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.byID, n.id.String())
-	delete(m.byAddr, n.addr)
+	sh := &m.byID[idShardIndex(n.id)]
+	sh.mu.Lock()
+	if sh.m[n.id] == n {
+		delete(sh.m, n.id)
+	}
+	sh.mu.Unlock()
+	if m.byAddr[n.addr].CompareAndSwap(n, nil) {
+		m.size.Add(-1)
+	}
 }
 
-// NodeAt returns the node hosted at addr, or nil.
+// NodeAt returns the node hosted at addr, or nil. Lock-free: this is the
+// target-resolution step of every simulated message.
 func (m *Mesh) NodeAt(addr netsim.Addr) *Node {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.byAddr[addr]
+	if addr < 0 || int(addr) >= len(m.byAddr) {
+		return nil
+	}
+	return m.byAddr[addr].Load()
 }
 
 // NodeByID returns the registered node with the given ID, or nil.
 func (m *Mesh) NodeByID(id ids.ID) *Node {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.byID[id.String()]
+	sh := &m.byID[idShardIndex(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[id]
 }
 
 // Nodes returns a snapshot of all registered nodes (including currently
 // inserting ones, excluding failed/departed ones).
 func (m *Mesh) Nodes() []*Node {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]*Node, 0, len(m.byID))
-	for _, n := range m.byID {
-		out = append(out, n)
+	out := make([]*Node, 0, m.Size())
+	for i := range m.byID {
+		sh := &m.byID[i]
+		sh.mu.Lock()
+		for _, n := range sh.m {
+			out = append(out, n)
+		}
+		sh.mu.Unlock()
 	}
-	// byID is a map: return in ID order so churn/failure experiments that
-	// pick victims or probe clients from this slice are reproducible.
+	// Shard maps iterate in arbitrary order: return in ID order so churn and
+	// failure experiments that pick victims or probe clients from this slice
+	// are reproducible.
 	sort.Slice(out, func(i, j int) bool { return out[i].id.Less(out[j].id) })
 	return out
 }
 
-// Size returns the number of registered nodes.
+// Size returns the number of registered nodes (O(1): a maintained counter).
 func (m *Mesh) Size() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.byID)
+	return int(m.size.Load())
 }
 
 // errDead distinguishes "destination's host is up but the overlay node is

@@ -2,11 +2,14 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/stats"
 )
 
 // Participant names one (node-ID, address) pair for static construction.
@@ -24,31 +27,26 @@ type Participant struct {
 // BuildStatic is the oracle the dynamic algorithms are measured against
 // (Section 4: insertion should produce "the same as if we had been able to
 // build the network from static data") and the fast path for standing up
-// large meshes in benchmarks.
+// large meshes in benchmarks. Construction runs on one worker per CPU; see
+// BuildStaticWith for the determinism contract.
 func BuildStatic(net *netsim.Network, cfg Config, parts []Participant) (*Mesh, error) {
-	m, err := NewMesh(net, cfg)
+	return BuildStaticWith(net, cfg, parts, 0)
+}
+
+// BuildStaticWith is BuildStatic with explicit build parallelism (workers
+// <= 0 means one per CPU). The resulting mesh is byte-identical for every
+// workers value: each owner's table fill is a pure function of the immutable
+// participant set (peers are sorted by (distance, ID) and offered in that
+// order, so the R-bounded sets never depend on arrival interleaving), owners
+// are partitioned across workers in contiguous index shards that only write
+// their own tables, and the backpointer registrations each fill produces are
+// applied in a second pass in owner order.
+func BuildStaticWith(net *netsim.Network, cfg Config, parts []Participant, workers int) (*Mesh, error) {
+	m, nodes, err := registerStatic(net, cfg, parts)
 	if err != nil {
 		return nil, err
 	}
-	seenID := map[string]bool{}
-	seenAddr := map[netsim.Addr]bool{}
-	for _, p := range parts {
-		if seenID[p.ID.String()] {
-			return nil, fmt.Errorf("core: duplicate static ID %v", p.ID)
-		}
-		if seenAddr[p.Addr] {
-			return nil, fmt.Errorf("core: duplicate static address %d", p.Addr)
-		}
-		seenID[p.ID.String()] = true
-		seenAddr[p.Addr] = true
-	}
-	m.mu.Lock()
-	nodes := make([]*Node, len(parts))
-	for i, p := range parts {
-		nodes[i] = m.newNodeLocked(p.ID, p.Addr)
-		nodes[i].state = stateActive
-	}
-	m.mu.Unlock()
+	spec := m.cfg.Spec
 
 	// For each node, sort all others by distance once, then fill every slot
 	// greedily: a node qualifies for (level, digit) slots derived from its
@@ -57,7 +55,9 @@ func BuildStatic(net *netsim.Network, cfg Config, parts []Participant) (*Mesh, e
 		n *Node
 		d float64
 	}
-	for _, owner := range nodes {
+	intents := make([][]backIntent, len(nodes))
+	parallelFor(len(nodes), workers, func(i int) {
+		owner := nodes[i]
 		peers := make([]distPeer, 0, len(nodes)-1)
 		for _, p := range nodes {
 			if p != owner {
@@ -72,16 +72,204 @@ func BuildStatic(net *netsim.Network, cfg Config, parts []Participant) (*Mesh, e
 		})
 		for _, pr := range peers {
 			cpl := ids.CommonPrefixLen(owner.id, pr.n.id)
-			for l := 0; l <= cpl && l < cfg.Spec.Digits; l++ {
+			for l := 0; l <= cpl && l < spec.Digits; l++ {
 				e := route.Entry{ID: pr.n.id, Addr: pr.n.addr, Distance: pr.d}
 				added, _ := owner.table.Add(l, e)
 				if added {
-					pr.n.table.AddBack(l, route.Entry{ID: owner.id, Addr: owner.addr, Distance: pr.d})
+					intents[i] = append(intents[i], backIntent{peer: pr.n, level: l, d: pr.d})
 				}
 			}
 		}
-	}
+	})
+	applyBackIntents(nodes, intents)
 	return m, nil
+}
+
+// BuildStaticSampled constructs a large static mesh approximately. The exact
+// builder sorts all n-1 peers per owner — O(n² log n), prohibitive at 100k
+// nodes — so here each (level, digit) slot instead draws up to `sample`
+// qualifying candidates from the slot's prefix bucket and keeps the R
+// closest, for O(n · digits · base · sample) total work.
+//
+// Property 1 (no false holes) holds exactly: a slot is filled whenever any
+// qualifying node exists, because every non-empty bucket yields at least one
+// candidate. Property 2 (neighbor sets hold the R closest) becomes
+// approximate — the sampled candidates are close-ish, not provably closest —
+// which is the documented price of planetary-scale construction; dynamic
+// joins and the §4.2 repair engine remain exact.
+//
+// Determinism: candidate draws come from a SplitMix64 stream seeded by
+// (cfg.Seed, owner ID, slot), never by worker identity, so the mesh is
+// byte-identical for every workers value and every host core count.
+func BuildStaticSampled(net *netsim.Network, cfg Config, parts []Participant, sample, workers int) (*Mesh, error) {
+	m, nodes, err := registerStatic(net, cfg, parts)
+	if err != nil {
+		return nil, err
+	}
+	spec := m.cfg.Spec
+	if sample < 2*m.cfg.R {
+		sample = 2 * m.cfg.R
+	}
+
+	// buckets maps each (l+1)-digit prefix to the indices (into nodes) of the
+	// IDs carrying it: the candidate pool for every slot (level l, digit d)
+	// whose owner prefix extends to that key. Built sequentially so bucket
+	// order is parts order.
+	buckets := make(map[string][]int32, len(nodes)*spec.Digits)
+	keyBuf := make([]byte, spec.Digits)
+	for i, n := range nodes {
+		for l := 0; l < spec.Digits; l++ {
+			keyBuf[l] = byte(n.id.Digit(l))
+		}
+		for l := 0; l < spec.Digits; l++ {
+			k := string(keyBuf[:l+1])
+			buckets[k] = append(buckets[k], int32(i))
+		}
+	}
+
+	type cand struct {
+		idx int32
+		d   float64
+	}
+	intents := make([][]backIntent, len(nodes))
+	parallelFor(len(nodes), workers, func(i int) {
+		owner := nodes[i]
+		label := owner.id.String()
+		prefix := make([]byte, 0, spec.Digits)
+		cands := make([]cand, 0, sample)
+		for l := 0; l < spec.Digits; l++ {
+			for d := 0; d < spec.Base; d++ {
+				bucket := buckets[string(append(prefix, byte(d)))]
+				cands = cands[:0]
+				if len(bucket) <= sample {
+					for _, bi := range bucket {
+						if int(bi) != i {
+							cands = append(cands, cand{bi, net.Distance(owner.addr, nodes[bi].addr)})
+						}
+					}
+				} else {
+					// Seeded draws with replacement, deduplicated; the stream
+					// is a function of (seed, owner, slot) only.
+					s := uint64(stats.StreamSeed(m.cfg.Seed, label, l*spec.Base+d))
+					for k := 0; k < 3*sample && len(cands) < sample; k++ {
+						s = stats.SplitMix64(s)
+						bi := bucket[int(s%uint64(len(bucket)))]
+						if int(bi) == i {
+							continue
+						}
+						dup := false
+						for _, c := range cands {
+							if c.idx == bi {
+								dup = true
+								break
+							}
+						}
+						if !dup {
+							cands = append(cands, cand{bi, net.Distance(owner.addr, nodes[bi].addr)})
+						}
+					}
+				}
+				if len(cands) == 0 {
+					continue
+				}
+				sort.Slice(cands, func(a, b int) bool {
+					if cands[a].d != cands[b].d {
+						return cands[a].d < cands[b].d
+					}
+					return nodes[cands[a].idx].id.Less(nodes[cands[b].idx].id)
+				})
+				for _, c := range cands {
+					p := nodes[c.idx]
+					added, _ := owner.table.Add(l, route.Entry{ID: p.id, Addr: p.addr, Distance: c.d})
+					if added {
+						intents[i] = append(intents[i], backIntent{peer: p, level: l, d: c.d})
+					}
+				}
+			}
+			prefix = append(prefix, byte(owner.id.Digit(l)))
+		}
+	})
+	applyBackIntents(nodes, intents)
+	return m, nil
+}
+
+// backIntent is one deferred backpointer registration: during the parallel
+// fill phase owners only write their own tables; the cross-owner AddBack
+// writes are applied afterwards, in owner order, single-threaded.
+type backIntent struct {
+	peer  *Node
+	level int
+	d     float64
+}
+
+func applyBackIntents(nodes []*Node, intents [][]backIntent) {
+	for i, list := range intents {
+		owner := nodes[i]
+		for _, bi := range list {
+			bi.peer.table.AddBack(bi.level, route.Entry{ID: owner.id, Addr: owner.addr, Distance: bi.d})
+		}
+	}
+}
+
+// registerStatic validates the participant set and registers one active node
+// per participant on a fresh mesh.
+func registerStatic(net *netsim.Network, cfg Config, parts []Participant) (*Mesh, []*Node, error) {
+	m, err := NewMesh(net, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	seenID := make(map[ids.ID]bool, len(parts))
+	seenAddr := make(map[netsim.Addr]bool, len(parts))
+	for _, p := range parts {
+		if seenID[p.ID] {
+			return nil, nil, fmt.Errorf("core: duplicate static ID %v", p.ID)
+		}
+		if seenAddr[p.Addr] {
+			return nil, nil, fmt.Errorf("core: duplicate static address %d", p.Addr)
+		}
+		seenID[p.ID] = true
+		seenAddr[p.Addr] = true
+	}
+	nodes := make([]*Node, len(parts))
+	for i, p := range parts {
+		n := m.newNode(p.ID, p.Addr)
+		n.state = stateActive
+		if err := m.publish(n); err != nil {
+			return nil, nil, err // unreachable: duplicates rejected above
+		}
+		nodes[i] = n
+	}
+	return m, nodes, nil
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across contiguous index
+// shards on max(1, workers) goroutines (workers <= 0 selects one per CPU).
+// fn must be safe to run concurrently for distinct i.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // StaticParticipants draws n distinct random IDs over the given addresses,

@@ -130,3 +130,69 @@ func TestDynamicMatchesStatic(t *testing.T) {
 		t.Fatalf("%d slots differ between dynamic and static construction", mismatches)
 	}
 }
+
+// staticParts draws a deterministic participant set on a fresh network.
+// Byte-identity is compared through meshFingerprint (nearest_test.go).
+func staticParts(n int, seed int64) (*netsim.Network, []Participant) {
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(n * 4)
+	net := netsim.New(space)
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	return net, StaticParticipants(testConfig().Spec, addrs, rng)
+}
+
+// TestBuildStaticWorkerInvariance pins the parallel-construction contract:
+// the mesh BuildStaticWith produces is byte-identical for every worker
+// count, and identical to what the sequential single-worker fill produces.
+func TestBuildStaticWorkerInvariance(t *testing.T) {
+	var prints []string
+	for _, workers := range []int{1, 3, 8} {
+		net, parts := staticParts(96, 51)
+		m, err := BuildStaticWith(net, testConfig(), parts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prints = append(prints, meshFingerprint(m))
+	}
+	if prints[0] != prints[1] || prints[0] != prints[2] {
+		t.Fatal("BuildStaticWith output differs across worker counts")
+	}
+}
+
+// TestBuildStaticSampledInvariantAndProperty1 checks the sampled large-scale
+// builder: byte-identical across worker counts, and Property 1 (no false
+// holes) holds exactly despite the approximate neighbor selection.
+func TestBuildStaticSampledInvariantAndProperty1(t *testing.T) {
+	var prints []string
+	var last *Mesh
+	for _, workers := range []int{1, 8} {
+		net, parts := staticParts(128, 52)
+		m, err := BuildStaticSampled(net, testConfig(), parts, 8, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prints = append(prints, meshFingerprint(m))
+		last = m
+	}
+	if prints[0] != prints[1] {
+		t.Fatal("BuildStaticSampled output differs across worker counts")
+	}
+	if v := last.AuditProperty1(); len(v) != 0 {
+		t.Fatalf("sampled build violates Property 1:\n%v", v[:min(5, len(v))])
+	}
+	// The sampled mesh must also serve objects end to end.
+	nodes := last.Nodes()
+	guid := testSpec.Hash("sampled-object")
+	if err := nodes[11].Publish(guid, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nodes[:16] {
+		if res := c.Locate(guid, nil); !res.Found {
+			t.Fatalf("locate failed from %v on sampled mesh", c.id)
+		}
+	}
+}

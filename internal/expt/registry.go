@@ -45,6 +45,16 @@ type Params struct {
 	FaceoffEpochs    int
 	FaceoffQueries   int
 	FaceoffProtocols []string
+
+	// E-planet (virtual-time run at planetary scale) knobs: overlay
+	// population, published objects, virtual-time epochs, Zipf queries per
+	// epoch, and the worker count of the sampled static build (0 = one per
+	// CPU; the mesh is byte-identical for every value).
+	PlanetNodes        int
+	PlanetObjects      int
+	PlanetEpochs       int
+	PlanetQueries      int
+	PlanetBuildWorkers int
 }
 
 // DefaultParams reproduces the paper-comparable scale.
@@ -75,6 +85,11 @@ func DefaultParams() Params {
 		FaceoffObjects: 64,
 		FaceoffEpochs:  4,
 		FaceoffQueries: 2048,
+
+		PlanetNodes:   100000,
+		PlanetObjects: 1000000,
+		PlanetEpochs:  4,
+		PlanetQueries: 2048,
 	}
 }
 
@@ -106,6 +121,11 @@ func QuickParams() Params {
 		FaceoffObjects: 32,
 		FaceoffEpochs:  2,
 		FaceoffQueries: 512,
+
+		PlanetNodes:   2000,
+		PlanetObjects: 20000,
+		PlanetEpochs:  2,
+		PlanetQueries: 256,
 	}
 }
 
@@ -152,6 +172,10 @@ var registry = []Experiment{
 	{"E-faceoff", "Faceoff", func(p Params) Def {
 		return faceoffDef(p.FaceoffN, p.FaceoffObjects, p.FaceoffEpochs,
 			p.FaceoffQueries, p.FaceoffProtocols)
+	}},
+	{"E-planet", "Planet", func(p Params) Def {
+		return planetDef(p.PlanetNodes, p.PlanetObjects, p.PlanetEpochs,
+			p.PlanetQueries, p.PlanetBuildWorkers)
 	}},
 	{"A1", "AblationSurrogate", func(p Params) Def { return ablationSurrogateDef(p.StretchN) }},
 	{"A2", "AblationR", func(p Params) Def { return ablationRDef(p.StretchN, []int{2, 3, 4}) }},

@@ -34,6 +34,11 @@ func smallParams() Params {
 		FaceoffObjects: 12,
 		FaceoffEpochs:  2,
 		FaceoffQueries: 64,
+
+		PlanetNodes:   200,
+		PlanetObjects: 400,
+		PlanetEpochs:  2,
+		PlanetQueries: 32,
 	}
 }
 

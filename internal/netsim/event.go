@@ -1,0 +1,350 @@
+package netsim
+
+import (
+	"fmt"
+
+	"tapestry/internal/stats"
+)
+
+// Engine is a deterministic discrete-event scheduler over virtual time — the
+// execution backend that lets maintenance, repair and queries genuinely
+// interleave on overlays far larger than the synchronous call-graph model
+// can drive.
+//
+// # Model
+//
+// Operations are ordinary Go functions scheduled with At/After. Each runs on
+// its own goroutine, but the engine resumes exactly ONE at a time: an op
+// runs until it parks (inside Network.Send, Sleep, or Join), the engine pops
+// the next event from the queue, advances the virtual clock to its
+// timestamp, and hands control to the op that owns it. Because only one op
+// ever executes between two scheduler decisions, a run is a deterministic
+// function of (seed, scheduled work) — the host's goroutine scheduler, core
+// count and -workers value cannot change any outcome.
+//
+// Every message transmitted while an op runs under the engine is charged its
+// metric distance as virtual LATENCY, not just as abstract cost: Send parks
+// the op and schedules a delivery event at now + distance. Deliveries pass
+// through a per-address inbound queue: a receiver still busy with an earlier
+// delivery (see SetServiceTime) delays the message, so hotspots queue in
+// virtual time exactly like an overloaded server would.
+//
+// # Event ordering
+//
+// The queue is a binary heap ordered by (time, tie, seq). The tie is drawn
+// from a SplitMix64 stream seeded at construction: two events scheduled for
+// the same instant fire in a seeded pseudo-random order rather than
+// insertion order, so same-time interleavings are adversarially shuffled yet
+// exactly reproducible. seq (the scheduling sequence number) makes the order
+// total even on a tie collision.
+//
+// # Discipline
+//
+// The engine is deliberately not thread-safe: while Run is draining the
+// queue, only the currently-resumed op may touch the engine (schedule, park,
+// send). Outside Run, only one goroutine — the one that will call Run — may
+// schedule. The resume/yield handshake makes every transition visible to
+// the race detector, so misuse shows up as a data race, not silent
+// corruption.
+type Engine struct {
+	now float64
+	seq uint64
+	tie uint64 // SplitMix64 stream state for the seeded tie-break
+
+	heap []event
+
+	// inbox[a] is address a's inbound delivery queue state; sized by the
+	// Network at AttachEngine.
+	inbox   []portState
+	service float64 // per-delivery receiver occupancy (virtual time)
+
+	running bool
+	cur     *proc
+
+	// Counters, maintained by the loop and the (unique) running op.
+	processed uint64  // events executed
+	delivered uint64  // messages delivered through inbound queues
+	queued    uint64  // deliveries delayed behind a busy receiver
+	maxWait   float64 // worst queueing delay seen (virtual time)
+}
+
+// event is one heap entry: either the start of a new op (fn) or the wakeup
+// of a parked one (p).
+type event struct {
+	at  float64
+	tie uint64
+	seq uint64
+	fn  func()
+	p   *proc
+}
+
+// proc is one suspended or running operation. The engine resumes it by
+// sending on resume; the op hands control back by sending on yield (when
+// parking) and closes done when it returns.
+type proc struct {
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// portState is one address's inbound-queue occupancy.
+type portState struct {
+	busyUntil float64
+}
+
+// NewEngine creates an engine whose same-time tie-breaks are drawn from a
+// stream derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{tie: uint64(stats.StreamSeed(seed, "netsim/engine", 0))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// SetServiceTime sets the virtual time a receiver is occupied by each
+// delivered message. Zero (the default) means deliveries are instantaneous
+// to process and the inbound queue only orders same-time arrivals; a
+// positive value makes concurrent traffic to one address genuinely queue.
+func (e *Engine) SetServiceTime(s float64) {
+	if s < 0 {
+		panic("netsim: negative service time")
+	}
+	e.service = s
+}
+
+// nextTie advances the seeded tie-break stream.
+func (e *Engine) nextTie() uint64 {
+	e.tie = stats.SplitMix64(e.tie)
+	return e.tie
+}
+
+// push schedules an event, clamping times in the past to the current clock.
+func (e *Engine) push(at float64, fn func(), p *proc) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.heap = append(e.heap, event{at: at, tie: e.nextTie(), seq: e.seq, fn: fn, p: p})
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.tie != b.tie {
+		return a.tie < b.tie
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			return
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[last] = event{} // release closures for GC
+	e.heap = e.heap[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(e.heap) && e.less(l, small) {
+			small = l
+		}
+		if r < len(e.heap) && e.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+	return top
+}
+
+// At schedules fn to start as a new operation at virtual time t (clamped to
+// the current clock if already past). fn runs on its own goroutine under the
+// engine's one-at-a-time regime; it may call blocking overlay operations,
+// which park at every simulated message.
+func (e *Engine) At(t float64, fn func()) {
+	if fn == nil {
+		panic("netsim: At with nil fn")
+	}
+	e.push(t, fn, nil)
+}
+
+// After schedules fn to start d virtual-time units from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Sleep parks the calling op until d units of virtual time have passed.
+// It must be called from an op started by the engine.
+func (e *Engine) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	e.pause(e.now + d)
+}
+
+// pause suspends the currently-running op until the clock reaches at.
+func (e *Engine) pause(at float64) {
+	p := e.cur
+	if p == nil || !e.running {
+		panic("netsim: pause outside a scheduled op (is the engine running?)")
+	}
+	e.push(at, nil, p)
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// active reports whether an op is currently executing under the engine —
+// the only situation in which traffic takes the event-driven path. Setup
+// traffic issued before Run (or between Runs) keeps direct-call semantics.
+func (e *Engine) active() bool { return e.running && e.cur != nil }
+
+// transmit models one message in flight from the running op to address `to`:
+// it computes the delivery time from the latency and the receiver's inbound
+// queue, then parks the op until the message is delivered. Called by
+// Network.Send; a call while no op is running (setup traffic before Run) is
+// a no-op, preserving direct-call semantics.
+func (e *Engine) transmit(to Addr, latency float64) {
+	if !e.running || e.cur == nil {
+		return
+	}
+	arrival := e.now + latency
+	delivery := arrival
+	if int(to) < len(e.inbox) {
+		q := &e.inbox[to]
+		if q.busyUntil > arrival {
+			delivery = q.busyUntil
+			e.queued++
+			if w := delivery - arrival; w > e.maxWait {
+				e.maxWait = w
+			}
+		}
+		q.busyUntil = delivery + e.service
+	}
+	e.delivered++
+	e.pause(delivery)
+}
+
+// attachPorts sizes the per-address inbound queues; called by
+// Network.AttachEngine.
+func (e *Engine) attachPorts(size int) {
+	if len(e.inbox) < size {
+		e.inbox = make([]portState, size)
+	}
+}
+
+// Run drains the event queue: it repeatedly pops the earliest event,
+// advances the clock, and runs the owning op until it parks or returns.
+// Run returns when no events remain; it may be called again after
+// scheduling more work (the clock keeps rising across calls).
+func (e *Engine) Run() {
+	if e.running {
+		panic("netsim: Engine.Run is not reentrant")
+	}
+	e.running = true
+	for len(e.heap) > 0 {
+		ev := e.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.processed++
+		p := ev.p
+		if p == nil {
+			p = &proc{resume: make(chan struct{}), yield: make(chan struct{})}
+			fn := ev.fn
+			go func() {
+				<-p.resume
+				fn()
+				p.yield <- struct{}{}
+				// The loop observes the yield with cur==nil-bound proc and
+				// discards it; the goroutine ends here.
+			}()
+		}
+		e.cur = p
+		p.resume <- struct{}{}
+		<-p.yield
+		e.cur = nil
+	}
+	e.running = false
+}
+
+// OpHandle joins on a spawned child op. It exists for ops that want internal
+// fan-out while staying inside the deterministic regime.
+type OpHandle struct {
+	eng      *Engine
+	finished bool
+	waiters  []*proc
+}
+
+// Spawn schedules fn as an op at the current virtual time and returns a
+// handle for joining on its completion.
+func (e *Engine) Spawn(fn func()) *OpHandle {
+	h := &OpHandle{eng: e}
+	e.push(e.now, func() {
+		fn()
+		h.finished = true
+		for _, w := range h.waiters {
+			e.push(e.now, nil, w)
+		}
+		h.waiters = nil
+	}, nil)
+	return h
+}
+
+// Wait parks the calling op until the handle's op has finished.
+func (h *OpHandle) Wait() {
+	if h.finished {
+		return
+	}
+	e := h.eng
+	p := e.cur
+	if p == nil || !e.running {
+		panic("netsim: Wait outside a scheduled op")
+	}
+	h.waiters = append(h.waiters, p)
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// EngineStats is a snapshot of the engine's counters.
+type EngineStats struct {
+	Now       float64 // virtual clock
+	Events    uint64  // events executed by Run
+	Delivered uint64  // messages delivered through inbound queues
+	Queued    uint64  // deliveries that waited behind a busy receiver
+	MaxWait   float64 // worst inbound-queue delay (virtual time)
+	Pending   int     // events still scheduled
+}
+
+// Stats returns a snapshot of the engine's counters. Call it between Run
+// invocations (or from the running op).
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Now:       e.now,
+		Events:    e.processed,
+		Delivered: e.delivered,
+		Queued:    e.queued,
+		MaxWait:   e.maxWait,
+		Pending:   len(e.heap),
+	}
+}
+
+func (s EngineStats) String() string {
+	return fmt.Sprintf("t=%.3f events=%d delivered=%d queued=%d maxwait=%.3f",
+		s.Now, s.Events, s.Delivered, s.Queued, s.MaxWait)
+}

@@ -44,6 +44,14 @@ type Cost struct {
 	messages atomic.Int64
 	hops     atomic.Int64
 	distance atomic.Uint64 // float64 bit pattern
+
+	// Virtual-time stamps (event-driven backend only): the event clock at
+	// the op's first charged message and at its latest delivery. Their
+	// difference is the op's end-to-end latency in virtual time — something
+	// the direct-call backend cannot measure, because no time passes there.
+	vset   atomic.Bool
+	vbegin atomic.Uint64 // float64 bit pattern
+	vend   atomic.Uint64 // float64 bit pattern
 }
 
 // Add charges one message of the given distance; hop indicates whether the
@@ -74,6 +82,41 @@ func (c *Cost) addDistance(d float64) {
 	}
 }
 
+// Stamp records the event clock against the op: the first stamp fixes the
+// op's virtual start, every stamp advances its virtual end. The event-driven
+// backend stamps each message's send and delivery times; direct-call
+// execution never stamps (no virtual time passes).
+func (c *Cost) Stamp(t float64) {
+	if c == nil {
+		return
+	}
+	if c.vset.CompareAndSwap(false, true) {
+		c.vbegin.Store(math.Float64bits(t))
+	}
+	if math.Float64frombits(c.vend.Load()) < t {
+		c.vend.Store(math.Float64bits(t))
+	}
+}
+
+// VirtualSpan returns the op's virtual start and end times; ok is false when
+// the op never ran under an event engine (direct-call mode).
+func (c *Cost) VirtualSpan() (begin, end float64, ok bool) {
+	if c == nil || !c.vset.Load() {
+		return 0, 0, false
+	}
+	return math.Float64frombits(c.vbegin.Load()), math.Float64frombits(c.vend.Load()), true
+}
+
+// VirtualLatency returns the op's end-to-end latency in virtual time (zero
+// under the direct-call backend).
+func (c *Cost) VirtualLatency() float64 {
+	begin, end, ok := c.VirtualSpan()
+	if !ok {
+		return 0
+	}
+	return end - begin
+}
+
 // Merge folds other into c (used when a sub-operation keeps its own ledger).
 func (c *Cost) Merge(other *Cost) {
 	if c == nil || other == nil {
@@ -83,6 +126,16 @@ func (c *Cost) Merge(other *Cost) {
 	c.messages.Add(int64(m))
 	c.hops.Add(int64(h))
 	c.addDistance(d)
+	if begin, end, ok := other.VirtualSpan(); ok {
+		// Widen c's span rather than re-stamping: the sub-operation may have
+		// started before (or ended after) anything c has seen.
+		if c.vset.CompareAndSwap(false, true) {
+			c.vbegin.Store(math.Float64bits(begin))
+		} else if cur := math.Float64frombits(c.vbegin.Load()); begin < cur {
+			c.vbegin.Store(math.Float64bits(begin))
+		}
+		c.Stamp(end)
+	}
 }
 
 // Snapshot returns (messages, hops, distance); each field is read
@@ -130,6 +183,14 @@ type Network struct {
 	// point, exactly like the charged timeout in Send. nil (one
 	// pointer-null check on Send) unless EnableLoadTracking was called.
 	load []atomic.Int64
+
+	// engine, when attached, switches Send to the event-driven backend:
+	// a message parks the calling op on the scheduler until its delivery
+	// event fires, so metric distance becomes virtual latency and liveness
+	// is evaluated at delivery time. nil — the default — is the direct-call
+	// backend with exactly the pre-engine semantics. Attach before any
+	// traffic; the field is then read-only.
+	engine *Engine
 }
 
 // New creates a network over the given metric space with all addresses
@@ -221,12 +282,34 @@ func (n *Network) Send(from, to Addr, cost *Cost, hop bool) error {
 	if n.load != nil {
 		n.load[to].Add(1)
 	}
-	cost.Add(n.Distance(from, to), hop)
+	d := n.Distance(from, to)
+	cost.Add(d, hop)
+	if e := n.engine; e != nil && e.active() {
+		// Event-driven backend: the message is in flight for its metric
+		// distance (plus any inbound-queue wait at the receiver); the op
+		// parks until the delivery event fires. Liveness is then checked at
+		// delivery time — the receiver may have died (or appeared) while the
+		// message was in the air, which the direct-call model cannot express.
+		cost.Stamp(e.Now())
+		e.transmit(to, d)
+		cost.Stamp(e.Now())
+	}
 	if !n.Alive(to) {
 		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
 	}
 	return nil
 }
+
+// AttachEngine switches the network to the event-driven execution backend.
+// Attach before any traffic or scheduling; a network without an engine runs
+// every operation as a direct synchronous call, exactly as before.
+func (n *Network) AttachEngine(e *Engine) {
+	e.attachPorts(n.size)
+	n.engine = e
+}
+
+// Engine returns the attached event engine, or nil in direct-call mode.
+func (n *Network) Engine() *Engine { return n.engine }
 
 // RPC charges a request/response pair (two messages, one routing hop) and
 // fails if the destination is dead.

@@ -161,6 +161,21 @@ type Config struct {
 	LocateCacheTTL int
 	// Seed drives all randomized choices (IDs, root selection).
 	Seed int64
+	// StaticBuild selects the oracle static construction for the initial
+	// bulk Grow on an empty Tapestry overlay (exact R-closest tables from
+	// global knowledge, built across BuildWorkers shards) instead of
+	// sequential dynamic insertion. Later Grow/AddNode calls still insert
+	// dynamically.
+	StaticBuild bool
+	// BuildWorkers shards the static bulk construction (0 = one worker per
+	// CPU). The built overlay is byte-identical for every value.
+	BuildWorkers int
+	// EventDriven selects the discrete-event virtual-time execution backend:
+	// operations scheduled with Network.Schedule run under a deterministic
+	// event loop in which every message takes its metric distance in virtual
+	// time. Operations invoked outside Schedule/RunEvents keep direct-call
+	// semantics. See the README "Execution model" section.
+	EventDriven bool
 }
 
 // Defaults returns the deployed-Tapestry configuration: hexadecimal digits,
@@ -182,14 +197,16 @@ func (c Config) toCore() core.Config {
 	cc.LocateCacheCap = c.LocateCacheCap
 	cc.LocateCacheTTL = int64(c.LocateCacheTTL)
 	cc.Seed = c.Seed
+	cc.BuildWorkers = c.BuildWorkers
 	return cc
 }
 
 // toOverlay maps the public configuration onto the overlay builder's.
 func (c Config) toOverlay(p Protocol) overlay.Config {
 	oc := overlay.Config{
-		Spec: ids.Spec{Base: c.Base, Digits: c.Digits},
-		Seed: c.Seed,
+		Spec:   ids.Spec{Base: c.Base, Digits: c.Digits},
+		Seed:   c.Seed,
+		Static: c.StaticBuild,
 	}
 	if p == Tapestry {
 		cc := c.toCore()
@@ -227,6 +244,9 @@ func NewProtocol(space Space, p Protocol, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	sim := netsim.New(space)
+	if cfg.EventDriven {
+		sim.AttachEngine(netsim.NewEngine(cfg.Seed))
+	}
 	proto, err := b.New(sim, cfg.toOverlay(p))
 	if err != nil {
 		return nil, err
@@ -285,6 +305,46 @@ func (nw *Network) Nodes() []*Node {
 
 // TotalMessages returns the network-wide message count since creation.
 func (nw *Network) TotalMessages() int64 { return nw.sim.TotalMessages() }
+
+// ErrNotEventDriven is returned by the virtual-time surface (Schedule,
+// RunEvents) on a network built without Config.EventDriven.
+var ErrNotEventDriven = errors.New("tapestry: network is not event-driven (set Config.EventDriven)")
+
+// Schedule registers fn to start as an operation at virtual time `at` on the
+// event-driven backend. fn runs when RunEvents drains the queue; overlay
+// calls it makes (Locate, Publish, Leave, ...) then park at every simulated
+// message, so scheduled operations genuinely interleave in virtual time.
+func (nw *Network) Schedule(at float64, fn func()) error {
+	e := nw.sim.Engine()
+	if e == nil {
+		return ErrNotEventDriven
+	}
+	e.At(at, fn)
+	return nil
+}
+
+// RunEvents drains the scheduled-event queue deterministically, advancing
+// the virtual clock; it returns once every scheduled operation has finished.
+// It may be called repeatedly as more work is scheduled (the clock keeps
+// rising). Do not invoke overlay operations from other goroutines while
+// RunEvents is draining.
+func (nw *Network) RunEvents() error {
+	e := nw.sim.Engine()
+	if e == nil {
+		return ErrNotEventDriven
+	}
+	e.Run()
+	return nil
+}
+
+// VirtualNow returns the event backend's virtual clock (0 on direct-call
+// networks, where no virtual time ever passes).
+func (nw *Network) VirtualNow() float64 {
+	if e := nw.sim.Engine(); e != nil {
+		return e.Now()
+	}
+	return 0
+}
 
 // RegionOf returns the locality region (stub domain) of a point in the
 // metric space, or -1 when the space has no region structure (only
