@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tapestry/internal/expt"
+	"tapestry/internal/microbench"
 )
 
 func main() {
@@ -37,7 +39,17 @@ func main() {
 	planetNodes := flag.Int("planet-nodes", 0, "E-planet: overlay population of the virtual-time run (0 = params default)")
 	planetObjects := flag.Int("planet-objects", 0, "E-planet: published objects (0 = params default)")
 	protocol := flag.String("protocol", "", "E-faceoff: comma-separated overlay protocols to face off (empty = all registered)")
+	benchJSON := flag.Bool("bench-json", false, "run the hot-path micro-benchmark set and emit BENCH_micro.json to stdout")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: gate against this baseline BENCH_micro.json, exit 1 on regression")
+	benchTolerance := flag.Float64("bench-tolerance", 0.25, "with -bench-baseline: allowed ns/op regression fraction (allocs/op tolerates none)")
+	benchTime := flag.Duration("bench-time", 200*time.Millisecond, "with -bench-json: target time per benchmark repetition")
+	benchCount := flag.Int("bench-count", 3, "with -bench-json: repetitions per benchmark; the minimum ns/op is reported")
 	flag.Parse()
+
+	if *benchJSON {
+		runMicro(*benchBaseline, *benchTolerance, *benchTime, *benchCount)
+		return
+	}
 
 	pattern := *run
 	if pattern == "" {
@@ -81,4 +93,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(2)
 	}
+}
+
+// runMicro executes the micro-benchmark set, writes BENCH_micro.json to
+// stdout, and — when a baseline is given — exits 1 if any benchmark
+// regresses past the tolerance gate.
+func runMicro(baselinePath string, tolerance float64, benchTime time.Duration, count int) {
+	results := microbench.Run(microbench.Benches(), microbench.Options{
+		BenchTime: benchTime,
+		Count:     count,
+		Verbose:   os.Stderr,
+	})
+	if err := microbench.WriteJSON(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(2)
+	}
+	if baselinePath == "" {
+		return
+	}
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(2)
+	}
+	baseline, err := microbench.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(2)
+	}
+	if violations := microbench.Compare(baseline, results, tolerance); len(violations) > 0 {
+		fmt.Fprintln(os.Stderr, "benchtables: benchmark regression gate FAILED:")
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchtables: benchmark gate passed vs", baselinePath)
 }

@@ -80,7 +80,7 @@ func (m *Mesh) Join(gateway *Node, newID ids.ID, addr netsim.Addr) (*Node, *nets
 		holeLevel: alpha.Len(),
 		watch:     newWatchList(newID, watch),
 		newRef:    n,
-		visited:   map[string]bool{},
+		visited:   map[ids.ID]struct{}{},
 		pinned:    []*Node{surrogate}, // the step-2 pin, released with the rest
 	}
 	if err := m.net.Send(addr, surrogate.addr, cost, false); err != nil {
@@ -132,13 +132,13 @@ func (n *Node) installPreliminary(surrogate *Node, prelim map[int][]route.Entry,
 	// Walk levels in ascending order — prelim is a map, and installation
 	// order decides evictions among equal-distance candidates, so iterating
 	// it directly would make joins (and their message costs) nondeterministic.
-	seen := map[string]bool{}
+	seen := map[ids.ID]struct{}{}
 	for _, l := range sortedLevels(prelim) {
 		for _, e := range prelim[l] {
-			if seen[e.ID.String()] {
+			if _, dup := seen[e.ID]; dup {
 				continue
 			}
-			seen[e.ID.String()] = true
+			seen[e.ID] = struct{}{}
 			addAtAllLevels(e)
 		}
 	}
@@ -227,7 +227,8 @@ func (x *Node) linkAndXferRoot(n *Node, cost *netsim.Cost) {
 // Theorem 4's update mechanism, via the engine's onPeer hook).
 func (n *Node) acquireNeighborTable(seed []route.Entry, maxLevel int, cost *netsim.Cost) {
 	k := n.mesh.kList()
-	s := n.newNNSearch(k, nil, cost)
+	s := n.newNNSearch(k, ids.ID{}, cost)
+	defer s.release()
 	s.onPeer = func(peer *Node) { peer.addToTableIfCloser(n, cost) }
 	s.onDead = func(e route.Entry) { n.noteDead(e, cost) }
 	// The α-list from the multicast is complete, so use all of it to fill

@@ -75,7 +75,7 @@ type mcastCtx struct {
 	newRef    *Node // resolved inserting node, for watch-list notifications
 
 	mu      sync.Mutex
-	visited map[string]bool
+	visited map[ids.ID]struct{}
 	reached []route.Entry // every node the multicast touched, with addr
 	pinned  []*Node       // nodes holding the inserting node pinned (§4.4)
 }
@@ -83,11 +83,10 @@ type mcastCtx struct {
 func (ctx *mcastCtx) firstVisit(n *Node) bool {
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()
-	k := n.id.String()
-	if ctx.visited[k] {
+	if _, dup := ctx.visited[n.id]; dup {
 		return false
 	}
-	ctx.visited[k] = true
+	ctx.visited[n.id] = struct{}{}
 	ctx.reached = append(ctx.reached, route.Entry{ID: n.id, Addr: n.addr})
 	return true
 }
@@ -109,7 +108,7 @@ func (n *Node) AcknowledgedMulticast(p ids.Prefix, fn func(*Node), cost *netsim.
 	if !n.id.HasPrefix(p) {
 		return nil, fmt.Errorf("core: multicast prefix %v is not a prefix of %v", p, n.id)
 	}
-	ctx := &mcastCtx{fn: fn, cost: cost, root: p, visited: make(map[string]bool)}
+	ctx := &mcastCtx{fn: fn, cost: cost, root: p, visited: make(map[ids.ID]struct{})}
 	n.mcastArrive(p, ctx)
 	return ctx.reachedEntries(), nil
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
@@ -40,6 +40,40 @@ const (
 	nnClosureRounds = 3
 )
 
+// nnScratch is the search engine's reusable arena: the measured candidate
+// pool, per-peer query state and three fold/result buffers. Searches run on
+// every repair, join and refresh, and their maps and slices dominated the
+// engine's allocation profile; arenas recycle through Mesh.nnScratchPool so
+// a steady-state mesh stops allocating them at all. All maps key by the
+// comparable ids.ID — never by ID.String().
+type nnScratch struct {
+	pool   map[ids.ID]route.Entry
+	floors map[ids.ID]int // lowest row floor this peer has been queried at
+	failed map[ids.ID]struct{}
+	list   []route.Entry // matchers result (re-filled per call)
+	seeds  []route.Entry // vantage-table seed gathering
+	found  []route.Entry // per-peer fold buffer
+}
+
+func newNNScratch() *nnScratch {
+	return &nnScratch{
+		pool:   make(map[ids.ID]route.Entry, 64),
+		floors: make(map[ids.ID]int, 32),
+		failed: make(map[ids.ID]struct{}, 8),
+	}
+}
+
+// reset clears the arena for reuse; Go compiles the map-range deletes to a
+// bulk clear, and the slices keep their capacity.
+func (sc *nnScratch) reset() {
+	clear(sc.pool)
+	clear(sc.floors)
+	clear(sc.failed)
+	sc.list = sc.list[:0]
+	sc.seeds = sc.seeds[:0]
+	sc.found = sc.found[:0]
+}
+
 // nnSearch carries one level-by-level search from a fixed vantage node: the
 // measured candidate pool (distances from the vantage), which peers have
 // been queried and down to which row floor, and which probes failed.
@@ -47,7 +81,7 @@ type nnSearch struct {
 	n     *Node
 	k     int
 	cost  *netsim.Cost
-	avoid map[string]bool // IDs never pooled nor returned (e.g. the corpse being replaced)
+	avoid ids.ID // an ID never pooled nor returned (the corpse being replaced); zero = none
 
 	// onPeer, when set, runs on every successfully queried peer — join uses
 	// it for Figure 4 line 4 (the queried node checks whether the vantage
@@ -60,39 +94,40 @@ type nnSearch struct {
 	// recursing on every corpse its own search trips over would cascade.
 	onDead func(e route.Entry)
 
-	pool   map[string]route.Entry
-	floors map[string]int // lowest row floor this peer has been queried at
-	failed map[string]bool
+	*nnScratch
 }
 
-func (n *Node) newNNSearch(k int, avoid map[string]bool, cost *netsim.Cost) *nnSearch {
+func (n *Node) newNNSearch(k int, avoid ids.ID, cost *netsim.Cost) *nnSearch {
 	return &nnSearch{
-		n:      n,
-		k:      k,
-		cost:   cost,
-		avoid:  avoid,
-		pool:   make(map[string]route.Entry),
-		floors: make(map[string]int),
-		failed: make(map[string]bool),
+		n:         n,
+		k:         k,
+		cost:      cost,
+		avoid:     avoid,
+		nnScratch: n.mesh.getNNScratch(),
 	}
+}
+
+// release returns the arena to the mesh pool. The search must not be used
+// afterwards, and any matchers() result the caller wants to keep must be
+// copied first (it aliases the arena's list buffer).
+func (s *nnSearch) release() {
+	sc := s.nnScratch
+	s.nnScratch = nil
+	s.n.mesh.putNNScratch(sc)
 }
 
 // add measures a candidate from the vantage node and pools it; the vantage
-// node itself, avoided IDs and already-known candidates are ignored.
+// node itself, the avoided ID and already-known candidates are ignored.
 func (s *nnSearch) add(e route.Entry) {
-	if e.ID.IsZero() || e.ID.Equal(s.n.id) {
+	if e.ID.IsZero() || e.ID.Equal(s.n.id) || e.ID.Equal(s.avoid) {
 		return
 	}
-	key := e.ID.String()
-	if s.avoid[key] {
-		return
-	}
-	if _, ok := s.pool[key]; ok {
+	if _, ok := s.pool[e.ID]; ok {
 		return
 	}
 	e.Distance = s.n.mesh.net.Distance(s.n.addr, e.Addr)
 	e.Pinned, e.Leaving = false, false
-	s.pool[key] = e
+	s.pool[e.ID] = e
 }
 
 // prefixMatch returns the number of leading digits id shares with p.
@@ -112,22 +147,43 @@ func prefixMatch(id ids.ID, p ids.Prefix) int {
 // matchers returns every pooled candidate sharing at least m digits with p
 // whose probe has not failed, sorted by (distance, ID) — the same order the
 // routing table keeps its sets in, so "first matcher" and "slot primary"
-// agree on tie-breaks.
+// agree on tie-breaks. The result aliases the arena's list buffer: it is
+// valid until the next matchers call and must not outlive release().
 func (s *nnSearch) matchers(p ids.Prefix, m int) []route.Entry {
-	out := make([]route.Entry, 0, len(s.pool))
-	for key, e := range s.pool {
-		if s.failed[key] || prefixMatch(e.ID, p) < m {
+	out := s.list[:0]
+	for id, e := range s.pool {
+		if _, bad := s.failed[id]; bad {
+			continue
+		}
+		if prefixMatch(e.ID, p) < m {
 			continue
 		}
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
+	// The pool is a map, but the (distance, ID) order is total — IDs are
+	// unique — so the sorted list is deterministic.
+	slices.SortFunc(out, func(a, b route.Entry) int {
+		if a.Distance != b.Distance {
+			if a.Distance < b.Distance {
+				return -1
+			}
+			return 1
 		}
-		return out[i].ID.Less(out[j].ID)
+		return a.ID.Compare(b.ID)
 	})
+	s.list = out
 	return out
+}
+
+// appendSeedBand collects every contact of t qualifying at levels >= level —
+// forward rows as one contiguous RangeView copy, backpointers level by
+// level — into dst. Self entries ride along; add() drops them.
+func appendSeedBand(dst []route.Entry, t *route.Table, level int) []route.Entry {
+	dst = append(dst, t.RangeView(level, t.Levels())...)
+	for l := level; l < t.Levels(); l++ {
+		dst = t.AppendBacks(dst, l)
+	}
+	return dst
 }
 
 // queryPeer contacts a candidate and folds its forward rows and backpointers
@@ -135,21 +191,20 @@ func (s *nnSearch) matchers(p ids.Prefix, m int) []route.Entry {
 // cleanup belongs to the caller's sweep, not to the search — recursing into
 // repair from inside a repair's own search would re-enter this code).
 func (s *nnSearch) queryPeer(e route.Entry, floor int) bool {
-	key := e.ID.String()
 	// A peer queried before at a higher floor already contributed its rows
 	// [prevFloor, Levels); re-fold only the newly exposed band below it —
 	// the dedup in add() would discard the rest anyway.
 	fold := -1 // exclusive upper bound; -1 = everything above floor
-	if f, ok := s.floors[key]; ok {
+	if f, ok := s.floors[e.ID]; ok {
 		if floor >= f {
 			return true // nothing new to gather
 		}
 		fold = f
 	}
-	s.floors[key] = floor
+	s.floors[e.ID] = floor
 	peer, err := s.n.mesh.rpc(s.n.addr, e, s.cost, false)
 	if err != nil {
-		s.failed[key] = true
+		s.failed[e.ID] = struct{}{}
 		if s.onDead != nil {
 			s.onDead(e)
 		}
@@ -160,14 +215,17 @@ func (s *nnSearch) queryPeer(e route.Entry, floor int) bool {
 	if fold >= 0 && fold < top {
 		top = fold
 	}
-	var found []route.Entry
-	for l := floor; l < top; l++ {
-		for d := 0; d < peer.table.Base(); d++ {
-			found = append(found, peer.table.SetView(l, ids.Digit(d))...)
+	found := s.found[:0]
+	if floor < top {
+		// The whole [floor, top) row band is one contiguous copy under the
+		// SoA layout; backpointer maps fold per level.
+		found = append(found, peer.table.RangeView(floor, top)...)
+		for l := floor; l < top; l++ {
+			found = peer.table.AppendBacks(found, l)
 		}
-		found = append(found, peer.table.Backs(l)...)
 	}
 	peer.mu.Unlock()
+	s.found = found
 	for _, f := range found {
 		s.add(f)
 	}
@@ -196,7 +254,7 @@ func (s *nnSearch) expandLevel(p ids.Prefix, m, rounds int) {
 		}
 		progressed := false
 		for _, c := range list {
-			if f, ok := s.floors[c.ID.String()]; ok && f <= floor {
+			if f, ok := s.floors[c.ID]; ok && f <= floor {
 				continue
 			}
 			s.queryPeer(c, floor)
@@ -215,31 +273,27 @@ func (s *nnSearch) expandLevel(p ids.Prefix, m, rounds int) {
 // prefix level: the k closest β-sharers are queried for their (β, ·) rows,
 // surfacing (β, j) nodes, and the closest of those are closure-queried for
 // their slot-mates until the k-closest list is stable. The returned entries
-// are sorted by (distance, ID) from n's vantage; avoid lists IDs that must
-// not be returned (the dead node being replaced).
-func (n *Node) nearestForSlot(level int, digit ids.Digit, avoid map[string]bool, cost *netsim.Cost) []route.Entry {
+// are sorted by (distance, ID) from n's vantage; avoid names an ID that must
+// not be returned (the dead node being replaced; zero for none).
+func (n *Node) nearestForSlot(level int, digit ids.Digit, avoid ids.ID, cost *netsim.Cost) []route.Entry {
 	k := n.mesh.kList()
 	s := n.newNNSearch(k, avoid, cost)
 
 	n.mu.Lock()
-	var seeds []route.Entry
-	n.table.ForEachNeighbor(func(l int, e route.Entry) {
-		if l >= level {
-			seeds = append(seeds, e)
-		}
-	})
-	for l := level; l < n.table.Levels(); l++ {
-		seeds = append(seeds, n.table.Backs(l)...)
-	}
+	s.seeds = appendSeedBand(s.seeds[:0], n.table, level)
 	n.mu.Unlock()
-	for _, e := range seeds {
+	for _, e := range s.seeds {
 		s.add(e)
 	}
 
 	p := n.id.Prefix(level).Extend(digit)
 	s.expandLevel(p, level, nnLevelRounds)
 	s.expandLevel(p, p.Len(), nnClosureRounds)
-	return s.matchers(p, p.Len())
+	res := s.matchers(p, p.Len())
+	out := make([]route.Entry, len(res))
+	copy(out, res)
+	s.release()
+	return out
 }
 
 // NearestForSlot exposes the §4.2 slot search for experiments, audits and
@@ -247,5 +301,5 @@ func (n *Node) nearestForSlot(level int, digit ids.Digit, avoid map[string]bool,
 // by distance from n. It performs network probes (charged to cost) but never
 // mutates n's table.
 func (n *Node) NearestForSlot(level int, digit ids.Digit, cost *netsim.Cost) []route.Entry {
-	return n.nearestForSlot(level, digit, nil, cost)
+	return n.nearestForSlot(level, digit, ids.ID{}, cost)
 }

@@ -372,14 +372,34 @@ func TestNearestRepairConcurrentChurn(t *testing.T) {
 func BenchmarkNearestForSlot(b *testing.B) {
 	m, nodes := buildMesh(b, 64, testConfig(), 36)
 	_ = m
+	// The random (node, level, digit) walk is precomputed so the timed loop
+	// holds only the search itself.
 	rng := rand.New(rand.NewSource(37))
+	picks := benchSlotPicks(nodes, rng, 1<<12)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n := nodes[rng.Intn(len(nodes))]
-		level := rng.Intn(2) // low levels are the populated (expensive) ones
-		digit := ids.Digit(rng.Intn(testSpec.Base))
-		n.NearestForSlot(level, digit, nil)
+		p := picks[i%len(picks)]
+		p.node.NearestForSlot(p.level, p.digit, nil)
 	}
+}
+
+type slotPick struct {
+	node  *Node
+	level int
+	digit ids.Digit
+}
+
+func benchSlotPicks(nodes []*Node, rng *rand.Rand, n int) []slotPick {
+	picks := make([]slotPick, n)
+	for i := range picks {
+		picks[i] = slotPick{
+			node:  nodes[rng.Intn(len(nodes))],
+			level: rng.Intn(2), // low levels are the populated (expensive) ones
+			digit: ids.Digit(rng.Intn(testSpec.Base)),
+		}
+	}
+	return picks
 }
 
 // BenchmarkRepairHoleScan measures the legacy informant scan on the same
@@ -390,11 +410,11 @@ func BenchmarkRepairHoleScan(b *testing.B) {
 	cfg.Repair = RepairScan
 	_, nodes := buildMesh(b, 64, cfg, 36)
 	rng := rand.New(rand.NewSource(37))
+	picks := benchSlotPicks(nodes, rng, 1<<12)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n := nodes[rng.Intn(len(nodes))]
-		level := rng.Intn(2)
-		digit := ids.Digit(rng.Intn(testSpec.Base))
-		n.repairHoleScan(level, digit, ids.ID{}, nil)
+		p := picks[i%len(picks)]
+		p.node.repairHoleScan(p.level, p.digit, ids.ID{}, nil)
 	}
 }

@@ -284,6 +284,23 @@ type Mesh struct {
 	// mesh. Atomics so the query hot path never takes a mesh-wide lock.
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// nnScratchPool recycles the §4.2 search engine's candidate arenas
+	// (nearest.go) across repairs, joins and refreshes mesh-wide.
+	nnScratchPool sync.Pool
+}
+
+// getNNScratch hands out a clean search arena; putNNScratch recycles it.
+func (m *Mesh) getNNScratch() *nnScratch {
+	if sc, ok := m.nnScratchPool.Get().(*nnScratch); ok {
+		return sc
+	}
+	return newNNScratch()
+}
+
+func (m *Mesh) putNNScratch(sc *nnScratch) {
+	sc.reset()
+	m.nnScratchPool.Put(sc)
 }
 
 // NewMesh creates an empty overlay on the given network.

@@ -591,11 +591,16 @@ func (n *Node) expirePointers(now int64) {
 }
 
 // RepublishAll refreshes the publish paths of every object this node serves
-// (the periodic soft-state refresh of Section 6.5).
+// (the periodic soft-state refresh of Section 6.5). All records travel as
+// one batched caravan — one message per distinct next hop per node
+// (maintain.go) — so an epoch's refresh traffic scales with the distinct
+// routes out of each node rather than objects×hops.
 func (n *Node) RepublishAll(cost *netsim.Cost) {
-	for _, g := range n.PublishedObjects() {
-		_ = n.republishObject(g, cost)
+	guids := n.PublishedObjects()
+	if len(guids) == 0 {
+		return
 	}
+	n.republishBatched(guids, cost)
 }
 
 // OptimizeObjectPtrs re-routes every pointer path segment recorded at this

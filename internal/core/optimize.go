@@ -35,18 +35,14 @@ import (
 func (n *Node) ReorderNeighborSets(cost *netsim.Cost) int {
 	// Collect distinct neighbors and probe them (one RPC each).
 	neighbors := n.snapshotTable()
-	alive := map[string]bool{}
-	probed := map[string]bool{}
+	alive := map[ids.ID]bool{}
 	for _, ents := range neighbors {
 		for _, e := range ents {
-			k := e.ID.String()
-			if probed[k] {
+			if _, probed := alive[e.ID]; probed {
 				continue
 			}
-			probed[k] = true
-			if _, err := n.mesh.rpc(n.addr, e, cost, false); err == nil {
-				alive[k] = true
-			}
+			_, err := n.mesh.rpc(n.addr, e, cost, false)
+			alive[e.ID] = err == nil
 		}
 	}
 	changed := 0
@@ -60,7 +56,7 @@ func (n *Node) ReorderNeighborSets(cost *netsim.Cost) int {
 			}
 			oldPrimary, _ := n.table.Primary(l, dg)
 			for _, e := range set {
-				if e.ID.Equal(n.id) || !alive[e.ID.String()] {
+				if e.ID.Equal(n.id) || !alive[e.ID] {
 					continue
 				}
 				e.Distance = n.mesh.net.Distance(n.addr, e.Addr)
@@ -115,21 +111,18 @@ func (n *Node) ReacquireTable(cost *netsim.Cost) error {
 // has degraded Property 2 and a multicast per node is too expensive.
 func (n *Node) RefineTable(cost *netsim.Cost) int {
 	k := n.mesh.kList()
-	s := n.newNNSearch(k, nil, cost)
+	s := n.newNNSearch(k, ids.ID{}, cost)
+	defer s.release()
 	s.onDead = func(e route.Entry) { n.noteDead(e, cost) }
 	n.mu.Lock()
-	var seeds []route.Entry
-	n.table.ForEachNeighbor(func(_ int, e route.Entry) { seeds = append(seeds, e) })
-	for l := 0; l < n.table.Levels(); l++ {
-		seeds = append(seeds, n.table.Backs(l)...)
-	}
+	s.seeds = appendSeedBand(s.seeds[:0], n.table, 0)
 	levels := n.table.Levels()
 	n.mu.Unlock()
-	for _, e := range seeds {
+	for _, e := range s.seeds {
 		s.add(e)
 	}
 	adopted := 0
-	offered := map[string]bool{}
+	offered := map[ids.ID]struct{}{}
 	for i := levels - 1; i >= 0; i-- {
 		p := n.id.Prefix(i)
 		s.expandLevel(p, i, nnLevelRounds)
@@ -137,8 +130,8 @@ func (n *Node) RefineTable(cost *netsim.Cost) int {
 			// A candidate seen at an earlier (higher) iteration was already
 			// offered at every level above i; only level i is new for it.
 			lo, hi := i, i
-			if !offered[e.ID.String()] {
-				offered[e.ID.String()] = true
+			if _, was := offered[e.ID]; !was {
+				offered[e.ID] = struct{}{}
 				hi = ids.CommonPrefixLen(n.id, e.ID)
 				if hi > levels-1 {
 					hi = levels - 1
@@ -175,12 +168,12 @@ func (n *Node) ShareTables(cost *netsim.Cost) int {
 			continue
 		}
 		// Recipients: distinct neighbors at this level.
-		seen := map[string]bool{n.id.String(): true}
+		seen := map[ids.ID]struct{}{n.id: {}}
 		for _, target := range row {
-			if seen[target.ID.String()] {
+			if _, dup := seen[target.ID]; dup {
 				continue
 			}
-			seen[target.ID.String()] = true
+			seen[target.ID] = struct{}{}
 			peer, err := n.mesh.rpc(n.addr, target, cost, false)
 			if err != nil {
 				n.noteDead(target, cost)

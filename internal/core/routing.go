@@ -152,6 +152,18 @@ func (n *Node) usableSet(l int, d ids.Digit, exclude ids.ID, deadSet map[ids.ID]
 	return out
 }
 
+// NextHopDecision exposes one local surrogate-routing decision — the inner
+// loop of every locate and publish — for the microbenchmark harness, which
+// lives outside this package. It returns the chosen neighbor entry, the
+// digits-resolved counter the message would carry onward, and whether n is
+// the terminal (root) for key.
+func (n *Node) NextHopDecision(key ids.ID, level int) (route.Entry, int, bool) {
+	n.mu.Lock()
+	dec := n.nextHop(key, level, ids.ID{}, nil)
+	n.mu.Unlock()
+	return dec.next, dec.nextLevel, dec.terminal
+}
+
 // routeResult is where a key-directed walk ended.
 type routeResult struct {
 	node  *Node
@@ -160,10 +172,10 @@ type routeResult struct {
 }
 
 // routeToKey walks from n toward key's root via surrogate routing, invoking
-// visit (if non-nil) at every node on the path including the endpoints;
-// visit returns true to stop early (e.g. a locate found a pointer). It
-// retries through secondary neighbors when a primary's host turns out dead
-// (Observation 1 fault tolerance) and repairs the stale link.
+// visit (if non-nil) exactly once at every node on the path including the
+// endpoints; visit returns true to stop early (e.g. a locate found a
+// pointer). It retries through secondary neighbors when a primary's host
+// turns out dead (Observation 1 fault tolerance) and repairs the stale link.
 func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, level int) bool) (routeResult, error) {
 	cur := n
 	level := 0
@@ -171,11 +183,13 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 	// Both sets are lazily allocated: a healthy walk never touches them, so
 	// the publish/optimize hot paths stay allocation-free.
 	var deadSet, bounced map[ids.ID]struct{}
+	visited := false                               // re-deciding after a dead hop must not re-visit cur
 	maxHops := n.table.Levels()*n.table.Base() + 8 // generous loop guard; Theorem 2 implies <= Levels hops
 	for {
-		if visit != nil && visit(cur, level) {
+		if visit != nil && !visited && visit(cur, level) {
 			return routeResult{node: cur, hops: hops, level: level}, nil
 		}
+		visited = true
 		cur.mu.Lock()
 		dec := cur.nextHop(key, level, ids.ID{}, deadSet)
 		inserting := cur.state == stateInserting
@@ -209,6 +223,7 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 					return routeResult{node: cur, hops: hops, level: cur.table.Levels()}, nil
 				}
 				cur = next
+				visited = false
 				// Resume from the arrival level if it is below |α|: the
 				// inserter's preliminary table may have resolved rows
 				// level..|α|-1 differently than its surrogate would, and
@@ -236,6 +251,7 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 			continue
 		}
 		cur = next
+		visited = false
 		level = dec.nextLevel
 		hops++
 		if hops > maxHops {
@@ -319,24 +335,16 @@ func (n *Node) repairHoles(holes []slotRef, dead ids.ID, cost *netsim.Cost) {
 // candidates per slot, so a repaired set holds the same entries a fresh
 // table construction would.
 func (n *Node) repairHolesNearest(holes []slotRef, dead ids.ID, cost *netsim.Cost) {
-	avoid := map[string]bool{dead.String(): true}
-	s := n.newNNSearch(n.mesh.kList(), avoid, cost)
+	s := n.newNNSearch(n.mesh.kList(), dead, cost)
+	defer s.release()
 
 	// Seed once from every contact qualifying for the shallowest hole;
 	// deeper holes' informants are a subset.
 	minLevel := holes[0].level
 	n.mu.Lock()
-	var seeds []route.Entry
-	n.table.ForEachNeighbor(func(l int, e route.Entry) {
-		if l >= minLevel {
-			seeds = append(seeds, e)
-		}
-	})
-	for l := minLevel; l < n.table.Levels(); l++ {
-		seeds = append(seeds, n.table.Backs(l)...)
-	}
+	s.seeds = appendSeedBand(s.seeds[:0], n.table, minLevel)
 	n.mu.Unlock()
-	for _, e := range seeds {
+	for _, e := range s.seeds {
 		s.add(e)
 	}
 
@@ -377,12 +385,12 @@ func (n *Node) repairHoleScan(level int, digit ids.Digit, dead ids.ID, cost *net
 	}
 	n.mu.Unlock()
 
-	seen := map[string]bool{dead.String(): true, n.id.String(): true}
+	seen := map[ids.ID]struct{}{dead: {}, n.id: {}}
 	for _, inf := range informants {
-		if seen[inf.ID.String()] {
+		if _, dup := seen[inf.ID]; dup {
 			continue
 		}
-		seen[inf.ID.String()] = true
+		seen[inf.ID] = struct{}{}
 		target, err := n.mesh.rpc(n.addr, inf, cost, false)
 		if err != nil {
 			continue

@@ -29,12 +29,15 @@ func TestPlanetAcceptance(t *testing.T) {
 		t.Fatalf("%d rows, want 2:\n%s", len(tbl.Rows), tbl.String())
 	}
 	for i, row := range tbl.Rows {
-		if row[8] == "0/128 (0.00%)" {
+		if row[9] == "0/128 (0.00%)" {
 			t.Errorf("epoch %d: zero availability:\n%s", i+1, tbl.String())
 		}
+		if row[8] == "0" {
+			t.Errorf("epoch %d: zero maintenance messages:\n%s", i+1, tbl.String())
+		}
 		wantClock := []string{"100", "200"}[i]
-		if row[13] != wantClock {
-			t.Errorf("epoch %d: clock %s, want %s", i+1, row[13], wantClock)
+		if row[14] != wantClock {
+			t.Errorf("epoch %d: clock %s, want %s", i+1, row[14], wantClock)
 		}
 	}
 }

@@ -1,0 +1,186 @@
+package microbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tapestry"
+	"tapestry/internal/core"
+	"tapestry/internal/ids"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// The micro set pins the hot paths the perf PRs optimized: the end-to-end
+// locate, the §4.2 slot search, the per-hop routing decision, and the two
+// halves of a batched maintenance epoch. Fixture sizes match the historical
+// `go test -bench` numbers (256-node facade network, 64/128-node core
+// meshes) so BENCH_micro.json stays comparable with the figures quoted in
+// README's Performance section.
+
+// benchSpec matches internal/core's test spec: short IDs so small meshes
+// populate every level.
+var benchSpec = ids.Spec{Base: 16, Digits: 6}
+
+// buildCoreMesh mirrors the core package's test fixture: n nodes grown
+// sequentially over a sparse ring, addresses drawn as a seeded permutation.
+func buildCoreMesh(n int, cfg core.Config, seed int64) (*core.Mesh, []*core.Node) {
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(n * 4)
+	net := netsim.New(space)
+	m, err := core.NewMesh(net, cfg)
+	if err != nil {
+		panic(err)
+	}
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	nodes, _, err := m.GrowSequential(addrs, rng)
+	if err != nil {
+		panic(err)
+	}
+	return m, nodes
+}
+
+func benchCoreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Spec = benchSpec
+	return cfg
+}
+
+// Benches returns the standard micro set in its canonical order.
+func Benches() []Benchmark {
+	return []Benchmark{
+		{Name: "OpLocate", Setup: setupOpLocate},
+		{Name: "NearestForSlot", Setup: setupNearestForSlot},
+		{Name: "NextHop", Setup: setupNextHop},
+		{Name: "SweepDeadEpoch", Setup: setupSweepDeadEpoch},
+		{Name: "RepublishAllEpoch", Setup: setupRepublishAllEpoch},
+	}
+}
+
+// OpLocate: the facade-level end-to-end locate on a settled 256-node
+// network, round-robin over clients (mirrors bench_test.go's
+// BenchmarkOpLocate).
+func setupOpLocate() func(b *B) {
+	nw, err := tapestry.New(tapestry.RingSpace(256*4), tapestry.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	nodes, err := nw.Grow(256)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := nodes[0].Publish("bench-object"); err != nil {
+		panic(err)
+	}
+	return func(b *B) {
+		hops := 0
+		for i := 0; i < b.N; i++ {
+			res, _ := nodes[i%len(nodes)].Locate("bench-object")
+			if !res.Found {
+				panic("lost object")
+			}
+			hops += res.Hops
+		}
+		b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+	}
+}
+
+// NearestForSlot: one §4.2 slot search on a settled 64-node mesh, the
+// repair hot path's dominant cost (mirrors BenchmarkNearestForSlot; the
+// random (node, level, digit) sequence is precomputed so only the search is
+// timed).
+func setupNearestForSlot() func(b *B) {
+	_, nodes := buildCoreMesh(64, benchCoreConfig(), 36)
+	rng := rand.New(rand.NewSource(37))
+	const seqLen = 1 << 12
+	type pick struct {
+		node  *core.Node
+		level int
+		digit ids.Digit
+	}
+	seq := make([]pick, seqLen)
+	for i := range seq {
+		seq[i] = pick{
+			node:  nodes[rng.Intn(len(nodes))],
+			level: rng.Intn(2), // low levels are the populated (expensive) ones
+			digit: ids.Digit(rng.Intn(benchSpec.Base)),
+		}
+	}
+	return func(b *B) {
+		for i := 0; i < b.N; i++ {
+			p := seq[i%seqLen]
+			p.node.NearestForSlot(p.level, p.digit, nil)
+		}
+	}
+}
+
+// NextHop: the single local routing decision every hop of every walk makes,
+// over precomputed random keys on a settled 128-node mesh.
+func setupNextHop() func(b *B) {
+	_, nodes := buildCoreMesh(128, benchCoreConfig(), 44)
+	rng := rand.New(rand.NewSource(45))
+	const seqLen = 1 << 12
+	keys := make([]ids.ID, seqLen)
+	for i := range keys {
+		keys[i] = benchSpec.Random(rng)
+	}
+	return func(b *B) {
+		for i := 0; i < b.N; i++ {
+			nodes[i%len(nodes)].NextHopDecision(keys[i%seqLen], 0)
+		}
+	}
+}
+
+// SweepDeadEpoch: one mesh-wide coalesced heartbeat on a settled 128-node
+// mesh. The msgs/epoch metric equals one round trip per distinct neighbor —
+// the scaling the batching exists to deliver.
+func setupSweepDeadEpoch() func(b *B) {
+	m, nodes := buildCoreMesh(128, benchCoreConfig(), 52)
+	distinct := map[ids.ID]struct{}{}
+	for _, n := range nodes {
+		n.Table().ForEachNeighbor(func(_ int, e route.Entry) {
+			distinct[e.ID] = struct{}{}
+		})
+	}
+	return func(b *B) {
+		var cost netsim.Cost
+		for i := 0; i < b.N; i++ {
+			m.SweepDeadAll(&cost)
+		}
+		b.ReportMetric(float64(cost.Messages())/float64(b.N), "msgs/epoch")
+		b.ReportMetric(float64(len(distinct)), "distinct_neighbors")
+	}
+}
+
+// RepublishAllEpoch: the batched soft-state refresh of 32 objects spread
+// over a settled 128-node mesh (one caravan per serving node). msgs/epoch
+// scales with distinct next hops; records/epoch is the objects×roots count
+// the unbatched walk would pay per-hop for.
+func setupRepublishAllEpoch() func(b *B) {
+	m, nodes := buildCoreMesh(128, benchCoreConfig(), 60)
+	rng := rand.New(rand.NewSource(61))
+	records := 0
+	for i := 0; i < 32; i++ {
+		g := benchSpec.Hash(fmt.Sprintf("micro-%d", i))
+		if err := nodes[rng.Intn(len(nodes))].Publish(g, nil); err != nil {
+			panic(err)
+		}
+		records++
+	}
+	servers := m.Nodes()
+	return func(b *B) {
+		var cost netsim.Cost
+		for i := 0; i < b.N; i++ {
+			for _, n := range servers {
+				n.RepublishAll(&cost)
+			}
+		}
+		b.ReportMetric(float64(cost.Messages())/float64(b.N), "msgs/epoch")
+		b.ReportMetric(float64(records), "records")
+	}
+}

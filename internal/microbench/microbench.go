@@ -1,0 +1,206 @@
+// Package microbench is a small self-contained benchmark harness behind
+// `benchtables -bench-json`: it runs the hot-path micro-benchmark set
+// (locate, slot search, next-hop decision, maintenance epochs) outside `go
+// test` so the perf trajectory can be emitted as JSON, committed as
+// BENCH_micro.json, and gated by CI against regressions.
+//
+// The harness mirrors testing.B's contract where it matters: each benchmark
+// body runs b.N iterations, setup happens before the timer starts, and the
+// reported ns/op is the minimum over `count` repetitions (the least-noise
+// estimator for a gate). Allocation counts come from runtime.MemStats
+// deltas around the timed loop; with a single benchmarking goroutine they
+// are exact, which is what makes "any allocs/op increase fails CI"
+// enforceable.
+package microbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// B is the per-run handle a benchmark body receives. The body must execute
+// its operation exactly N times.
+type B struct {
+	// N is the iteration count for this timed run.
+	N int
+
+	metrics map[string]float64
+}
+
+// ReportMetric records a custom per-op metric (e.g. "msgs/epoch") alongside
+// the timing columns. Later reports of the same name overwrite.
+func (b *B) ReportMetric(perOp float64, name string) {
+	if b.metrics == nil {
+		b.metrics = map[string]float64{}
+	}
+	b.metrics[name] = perOp
+}
+
+// Benchmark is one named entry of the micro set. Setup builds the fixture
+// (untimed) and returns the body to be timed; the body is re-invoked with
+// growing b.N, so it must be repeatable against the same fixture.
+type Benchmark struct {
+	Name  string
+	Setup func() func(b *B)
+}
+
+// Result is one benchmark's measurement, serialized into BENCH_micro.json.
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Iterations  int                `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Options configure a harness run.
+type Options struct {
+	BenchTime time.Duration // target wall time per repetition (default 200ms)
+	Count     int           // repetitions; min ns/op wins (default 3)
+	Verbose   io.Writer     // per-benchmark progress lines, nil for quiet
+}
+
+func (o Options) withDefaults() Options {
+	if o.BenchTime <= 0 {
+		o.BenchTime = 200 * time.Millisecond
+	}
+	if o.Count <= 0 {
+		o.Count = 3
+	}
+	return o
+}
+
+// Run executes every benchmark and returns results in definition order.
+func Run(benches []Benchmark, opts Options) []Result {
+	opts = opts.withDefaults()
+	results := make([]Result, 0, len(benches))
+	for _, bm := range benches {
+		r := runOne(bm, opts)
+		if opts.Verbose != nil {
+			fmt.Fprintf(opts.Verbose, "%-24s %12.0f ns/op %8.0f allocs/op %10.0f B/op\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func runOne(bm Benchmark, opts Options) Result {
+	body := bm.Setup()
+	res := Result{Name: bm.Name}
+	best := -1.0
+	for rep := 0; rep < opts.Count; rep++ {
+		n := 1
+		for {
+			ns, allocs, bytes, metrics := measure(body, n)
+			elapsed := ns * float64(n)
+			if elapsed >= float64(opts.BenchTime.Nanoseconds()) || n >= 1<<24 {
+				if best < 0 || ns < best {
+					best = ns
+					res.NsPerOp = ns
+					res.AllocsPerOp = allocs
+					res.BytesPerOp = bytes
+					res.Iterations = n
+					res.Metrics = metrics
+				}
+				break
+			}
+			// Grow toward the target the way testing.B does: predict from
+			// the observed rate, bounded to at most 100x per step.
+			next := int(1.2 * float64(opts.BenchTime.Nanoseconds()) / ns)
+			if next > 100*n {
+				next = 100 * n
+			}
+			if next <= n {
+				next = n + 1
+			}
+			n = next
+		}
+	}
+	return res
+}
+
+// measure times one run of body with the given N and returns per-op
+// nanoseconds, mallocs, and bytes.
+func measure(body func(b *B), n int) (ns, allocs, bytes float64, metrics map[string]float64) {
+	b := &B{N: n}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	body(b)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	fn := float64(n)
+	ns = float64(elapsed.Nanoseconds()) / fn
+	allocs = float64(after.Mallocs-before.Mallocs) / fn
+	bytes = float64(after.TotalAlloc-before.TotalAlloc) / fn
+	return ns, allocs, bytes, b.metrics
+}
+
+// WriteJSON emits results as indented JSON (the BENCH_micro.json format:
+// a JSON array of Result objects, stable order, no timestamps so reruns on
+// identical code diff cleanly).
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// ReadJSON parses a BENCH_micro.json previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Result, error) {
+	var out []Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("microbench: parse baseline: %w", err)
+	}
+	return out, nil
+}
+
+// Compare gates current results against a baseline: a benchmark fails when
+// its ns/op regresses by more than tol (fraction, e.g. 0.25) or its
+// allocs/op increases beyond a hair of slack (+5% and +0.5 absolute —
+// allocation counts are near-deterministic, but pooled scratch refills
+// after a GC add a fractional, run-dependent remainder; the slack absorbs
+// that while still catching any real per-op allocation added to a hot
+// path). New benchmarks absent from the baseline pass (adding one must not
+// require a two-step baseline dance); baseline entries that vanish fail, so
+// a gate cannot be deleted silently. Returns human-readable violations;
+// empty means the gate passes.
+func Compare(baseline, current []Result, tol float64) []string {
+	base := map[string]Result{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var violations []string
+	seen := map[string]bool{}
+	for _, cur := range current {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			continue // new benchmark: becomes part of the next baseline
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+tol) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: ns/op %.0f -> %.0f (+%.0f%%, tolerance %.0f%%)",
+				cur.Name, b.NsPerOp, cur.NsPerOp,
+				100*(cur.NsPerOp/b.NsPerOp-1), 100*tol))
+		}
+		if cur.AllocsPerOp > b.AllocsPerOp*1.05+0.5 {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %.1f -> %.1f (allowance is +5%% and +0.5)",
+				cur.Name, b.AllocsPerOp, cur.AllocsPerOp))
+		}
+	}
+	for name := range base {
+		if !seen[name] {
+			violations = append(violations, fmt.Sprintf(
+				"%s: present in baseline but not measured (renamed or deleted? refresh the baseline)", name))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}

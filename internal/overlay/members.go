@@ -13,7 +13,10 @@ import (
 // Stats() readers are safe against concurrent membership churn. opMu is the
 // adapters' membership-operation lock: Join/Build consume the adapter's RNG
 // and must not interleave, matching the serialization the facade's old
-// AddNode lock provided.
+// AddNode lock provided. Adapters whose departures mutate shared protocol
+// state a concurrent join walks through (Tapestry: a Leave/Fail can kill the
+// surrogate an in-flight multicast is traversing) serialize Leave/Fail on the
+// same lock.
 type members struct {
 	opMu sync.Mutex
 

@@ -131,6 +131,10 @@ func (t *tapestry) Join(addr netsim.Addr) (Handle, *netsim.Cost, error) {
 }
 
 func (t *tapestry) Leave(h Handle) (*netsim.Cost, error) {
+	// Serialized with Join/Build: an unserialized departure can kill the
+	// surrogate an in-flight join is multicasting through, failing the join.
+	t.opMu.Lock()
+	defer t.opMu.Unlock()
 	cost := &netsim.Cost{}
 	n, ok := CoreNode(h)
 	if !ok {
@@ -144,6 +148,8 @@ func (t *tapestry) Leave(h Handle) (*netsim.Cost, error) {
 }
 
 func (t *tapestry) Fail(h Handle) error {
+	t.opMu.Lock()
+	defer t.opMu.Unlock()
 	n, ok := CoreNode(h)
 	if !ok {
 		return errors.New("overlay: foreign handle")
@@ -190,12 +196,12 @@ func (t *tapestry) Locate(h Handle, key string) (Result, *netsim.Cost) {
 
 // Maintain runs the heartbeat sweep (dead-link repair) followed by one
 // soft-state epoch (pointer expiry + republish) — the stabilization pass
-// the churn experiments run between epochs.
+// the churn experiments run between epochs. Both halves are batched: the
+// sweep probes each distinct neighbor once mesh-wide, and the republish
+// groups records per next hop (core/maintain.go).
 func (t *tapestry) Maintain() (*netsim.Cost, error) {
 	cost := &netsim.Cost{}
-	for _, n := range t.mesh.Nodes() {
-		n.SweepDead(cost)
-	}
+	t.mesh.SweepDeadAll(cost)
 	t.mesh.RunMaintenanceEpoch(cost)
 	return cost, nil
 }

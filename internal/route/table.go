@@ -6,6 +6,16 @@
 // backpointers (who points at me, per level) and the pinned-pointer state
 // used by the simultaneous-insertion protocol of Section 4.4.
 //
+// Storage is struct-of-arrays: every neighbor set lives in ONE contiguous
+// []Entry block, indexed by slot = level*base + digit through a compressed
+// offset array (off[slot]..off[slot+1] brackets N_{β,j}). Per-hop scans —
+// nextHop across a level's digits, multicast fan-out, whole-table folds —
+// walk sequential memory instead of chasing [][][]Entry spines, and a whole
+// level band is itself one contiguous range. Offsets rather than fixed-width
+// slots keep a 100k-node mesh's tables compact: slots hold a handful of
+// entries while level×base is large (112 slots at the planetary spec), so a
+// fixed R-capacity slab would waste ~10× the memory this layout touches.
+//
 // A Table is not internally synchronized: the owning node serializes access
 // under its own lock, which is how per-node state is guarded everywhere in
 // this codebase.
@@ -34,15 +44,20 @@ type Table struct {
 	owner ids.ID
 	addr  netsim.Addr
 	r     int
+	slots int // spec.Digits * spec.Base
 
-	// sets[level][digit] is N_{β,j} with β = owner.Prefix(level), j = digit,
-	// sorted by (distance, id). All pinned entries are retained regardless
-	// of R; at most r unpinned entries are kept.
-	sets [][][]Entry
+	// ents holds every neighbor set back to back, grouped by slot index
+	// (level*base + digit), each set sorted by (distance, id). All pinned
+	// entries are retained regardless of R; at most r unpinned entries are
+	// kept per set.
+	ents []Entry
+	// off[s]..off[s+1] brackets slot s within ents; len(off) == slots+1.
+	off []int32
 
 	// back[level] holds backpointers: nodes that have the owner in their
-	// level-`level` neighbor sets, keyed by ID string for determinism.
-	back []map[string]Entry
+	// level-`level` neighbor sets, keyed by comparable ID (no String()
+	// round-trips on maintenance paths).
+	back []map[ids.ID]Entry
 
 	// pinned counts pinned entry instances across all sets, kept in sync by
 	// Add/Pin/Unpin/Remove so PinnedCount is O(1).
@@ -63,16 +78,27 @@ func New(spec ids.Spec, owner ids.ID, addr netsim.Addr, r int) *Table {
 		owner: owner,
 		addr:  addr,
 		r:     r,
-		sets:  make([][][]Entry, spec.Digits),
-		back:  make([]map[string]Entry, spec.Digits),
+		slots: spec.Digits * spec.Base,
+		ents:  make([]Entry, 0, spec.Digits*(r+1)),
+		off:   make([]int32, spec.Digits*spec.Base+1),
+		back:  make([]map[ids.ID]Entry, spec.Digits),
 	}
 	for l := 0; l < spec.Digits; l++ {
-		t.sets[l] = make([][]Entry, spec.Base)
-		t.back[l] = make(map[string]Entry)
+		t.back[l] = make(map[ids.ID]Entry)
 	}
+	// Self entries occupy ascending slot indices (one per level), so the CSR
+	// block can be built in a single forward pass.
 	self := Entry{ID: owner, Addr: addr, Distance: 0}
+	cur := 0
 	for l := 0; l < spec.Digits; l++ {
-		t.sets[l][owner.Digit(l)] = []Entry{self}
+		s := l*spec.Base + int(owner.Digit(l))
+		for ; cur <= s; cur++ {
+			t.off[cur] = int32(len(t.ents))
+		}
+		t.ents = append(t.ents, self)
+	}
+	for ; cur <= t.slots; cur++ {
+		t.off[cur] = int32(len(t.ents))
 	}
 	return t
 }
@@ -92,6 +118,10 @@ func (t *Table) Levels() int { return t.spec.Digits }
 // Base returns the digit radix.
 func (t *Table) Base() int { return t.spec.Base }
 
+func (t *Table) slot(level int, digit ids.Digit) int {
+	return level*t.spec.Base + int(digit)
+}
+
 // qualifies reports whether id may appear at the given level: it must share
 // the owner's first `level` digits (so that it is a (β, j) node for β the
 // owner's level-length prefix).
@@ -104,6 +134,52 @@ func (t *Table) qualifies(level int, id ids.ID) bool {
 // scan entirely when no insertion is pinned here.
 func (t *Table) PinnedCount() int { return t.pinned }
 
+func entryLess(a, b Entry) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.ID.Less(b.ID)
+}
+
+// insertSorted places e into slot s at its (distance, id) rank, shifting the
+// tail of the block and the downstream offsets.
+func (t *Table) insertSorted(s int, e Entry) {
+	lo, hi := int(t.off[s]), int(t.off[s+1])
+	pos := hi
+	for i := lo; i < hi; i++ {
+		if entryLess(e, t.ents[i]) {
+			pos = i
+			break
+		}
+	}
+	t.ents = append(t.ents, Entry{})
+	copy(t.ents[pos+1:], t.ents[pos:])
+	t.ents[pos] = e
+	for j := s + 1; j <= t.slots; j++ {
+		t.off[j]++
+	}
+}
+
+// removeIdx deletes ents[i] from slot s, closing the gap.
+func (t *Table) removeIdx(s, i int) {
+	copy(t.ents[i:], t.ents[i+1:])
+	t.ents = t.ents[:len(t.ents)-1]
+	for j := s + 1; j <= t.slots; j++ {
+		t.off[j]--
+	}
+}
+
+// lastUnpinnedIdx returns the block index of the farthest unpinned entry of
+// slot s, or -1.
+func (t *Table) lastUnpinnedIdx(s int) int {
+	for i := int(t.off[s+1]) - 1; i >= int(t.off[s]); i-- {
+		if !t.ents[i].Pinned {
+			return i
+		}
+	}
+	return -1
+}
+
 // Add inserts a neighbor at the given level, keeping the set sorted by
 // distance and bounded by R (pinned entries never count against nor get
 // evicted by the bound). It returns whether the entry is now present and
@@ -114,20 +190,19 @@ func (t *Table) Add(level int, e Entry) (added bool, evicted []Entry) {
 	if !t.qualifies(level, e.ID) {
 		return false, nil
 	}
-	digit := e.ID.Digit(level)
-	set := t.sets[level][digit]
+	s := t.slot(level, e.ID.Digit(level))
 
-	// Update in place if already present.
-	for i := range set {
-		if set[i].ID.Equal(e.ID) {
-			pinned := set[i].Pinned || e.Pinned
-			if pinned && !set[i].Pinned {
+	// Update in place if already present (re-rank, since the distance may
+	// have changed; a pin is sticky).
+	for i := int(t.off[s]); i < int(t.off[s+1]); i++ {
+		if t.ents[i].ID.Equal(e.ID) {
+			pinned := t.ents[i].Pinned || e.Pinned
+			if pinned && !t.ents[i].Pinned {
 				t.pinned++
 			}
-			set[i] = e
-			set[i].Pinned = pinned
-			sortEntries(set)
-			t.sets[level][digit] = set
+			e.Pinned = pinned
+			t.removeIdx(s, i)
+			t.insertSorted(s, e)
 			return true, nil
 		}
 	}
@@ -135,87 +210,59 @@ func (t *Table) Add(level int, e Entry) (added bool, evicted []Entry) {
 	if e.Pinned {
 		t.pinned++
 	}
-	set = append(set, e)
-	sortEntries(set)
+	t.insertSorted(s, e)
 
 	// Enforce capacity over unpinned entries only.
 	unpinned := 0
-	for _, x := range set {
-		if !x.Pinned {
+	for i := int(t.off[s]); i < int(t.off[s+1]); i++ {
+		if !t.ents[i].Pinned {
 			unpinned++
 		}
 	}
 	if unpinned > t.r && !e.Pinned {
 		// If e itself is the farthest unpinned entry it simply does not fit.
-		last := lastUnpinned(set)
-		if set[last].ID.Equal(e.ID) {
-			t.sets[level][digit] = removeAt(set, last)
+		last := t.lastUnpinnedIdx(s)
+		if t.ents[last].ID.Equal(e.ID) {
+			t.removeIdx(s, last)
 			return false, nil
 		}
 	}
 	for unpinned > t.r {
-		last := lastUnpinned(set)
-		evicted = append(evicted, set[last])
-		set = removeAt(set, last)
+		last := t.lastUnpinnedIdx(s)
+		evicted = append(evicted, t.ents[last])
+		t.removeIdx(s, last)
 		unpinned--
 	}
-	t.sets[level][digit] = set
 	return true, evicted
 }
 
 func sortEntries(set []Entry) {
-	sort.Slice(set, func(i, j int) bool {
-		if set[i].Distance != set[j].Distance {
-			return set[i].Distance < set[j].Distance
-		}
-		return set[i].ID.Less(set[j].ID)
-	})
-}
-
-func lastUnpinned(set []Entry) int {
-	for i := len(set) - 1; i >= 0; i-- {
-		if !set[i].Pinned {
-			return i
-		}
-	}
-	return -1
-}
-
-func removeAt(set []Entry, i int) []Entry {
-	return append(set[:i:i], set[i+1:]...)
+	sort.Slice(set, func(i, j int) bool { return entryLess(set[i], set[j]) })
 }
 
 // Remove deletes the identified neighbor from every set and backpointer map
 // it appears in, returning the levels at which a forward link was removed.
 func (t *Table) Remove(id ids.ID) (levels []int) {
 	for l := 0; l < t.spec.Digits; l++ {
-		found := false
-		for d := range t.sets[l] {
-			for i := range t.sets[l][d] {
-				if t.sets[l][d][i].ID.Equal(id) {
-					if t.sets[l][d][i].Pinned {
-						t.pinned--
-					}
-					t.sets[l][d] = removeAt(t.sets[l][d], i)
-					found = true
-					break
+		s := t.slot(l, id.Digit(l))
+		for i := int(t.off[s]); i < int(t.off[s+1]); i++ {
+			if t.ents[i].ID.Equal(id) {
+				if t.ents[i].Pinned {
+					t.pinned--
 				}
-			}
-			if found {
+				t.removeIdx(s, i)
+				levels = append(levels, l)
 				break
 			}
 		}
-		if found {
-			levels = append(levels, l)
-		}
-		delete(t.back[l], keyOf(id))
+		delete(t.back[l], id)
 	}
 	return levels
 }
 
 // Set returns a copy of N_{β,j} at (level, digit), primary first.
 func (t *Table) Set(level int, digit ids.Digit) []Entry {
-	src := t.sets[level][digit]
+	src := t.SetView(level, digit)
 	out := make([]Entry, len(src))
 	copy(out, src)
 	return out
@@ -228,7 +275,17 @@ func (t *Table) Set(level int, digit ids.Digit) []Entry {
 // for per-hop routing decisions, where Set's defensive copy dominated the
 // routing cost.
 func (t *Table) SetView(level int, digit ids.Digit) []Entry {
-	return t.sets[level][digit]
+	s := t.slot(level, digit)
+	return t.ents[t.off[s]:t.off[s+1]]
+}
+
+// RangeView returns the storage of every neighbor set of levels [lo, hi) as
+// one contiguous slice: slot-grouped, ascending (level, digit), each set
+// sorted by (distance, id). Whole-band folds (the §4.2 search engine seeding
+// from a peer's table, audits) copy or scan this in a single pass instead of
+// base×levels SetView calls. Same aliasing contract as SetView.
+func (t *Table) RangeView(lo, hi int) []Entry {
+	return t.ents[t.off[lo*t.spec.Base]:t.off[hi*t.spec.Base]]
 }
 
 // Primary returns the closest non-leaving neighbor at (level, digit). If all
@@ -236,7 +293,7 @@ func (t *Table) SetView(level int, digit ids.Digit) []Entry {
 // keeps working during a graceful departure window ("incoming queries still
 // route normally to A while it is marked leaving").
 func (t *Table) Primary(level int, digit ids.Digit) (Entry, bool) {
-	set := t.sets[level][digit]
+	set := t.SetView(level, digit)
 	for _, e := range set {
 		if !e.Leaving {
 			return e, true
@@ -252,13 +309,13 @@ func (t *Table) Primary(level int, digit ids.Digit) (Entry, bool) {
 // vocabulary (Property 1 demands a hole only exists when no (β, j) node
 // exists anywhere).
 func (t *Table) HasHole(level int, digit ids.Digit) bool {
-	return len(t.sets[level][digit]) == 0
+	s := t.slot(level, digit)
+	return t.off[s] == t.off[s+1]
 }
 
 // Contains reports whether id is a forward neighbor at the given level.
 func (t *Table) Contains(level int, id ids.ID) bool {
-	digit := id.Digit(level)
-	for _, e := range t.sets[level][digit] {
+	for _, e := range t.SetView(level, id.Digit(level)) {
 		if e.ID.Equal(id) {
 			return true
 		}
@@ -273,36 +330,31 @@ func (t *Table) WouldImprove(level int, id ids.ID, distance float64) bool {
 	if !t.qualifies(level, id) || t.Contains(level, id) {
 		return false
 	}
-	set := t.sets[level][id.Digit(level)]
-	if len(set) == 0 {
+	s := t.slot(level, id.Digit(level))
+	if t.off[s] == t.off[s+1] {
 		return true
 	}
 	unpinned := 0
-	for _, e := range set {
-		if !e.Pinned {
+	for i := int(t.off[s]); i < int(t.off[s+1]); i++ {
+		if !t.ents[i].Pinned {
 			unpinned++
 		}
 	}
 	if unpinned < t.r {
 		return true
 	}
-	last := set[lastUnpinned(set)]
-	return distance < last.Distance
+	return distance < t.ents[t.lastUnpinnedIdx(s)].Distance
 }
 
 // MarkLeaving flags id wherever it appears (Section 5.1 first-phase delete
-// notification). It reports whether any link was found.
+// notification). It reports whether any link was found. Sort order is
+// unaffected: entries rank by (distance, id) only.
 func (t *Table) MarkLeaving(id ids.ID) bool {
 	found := false
-	for l := 0; l < t.spec.Digits; l++ {
-		for d := range t.sets[l] {
-			for i := range t.sets[l][d] {
-				if t.sets[l][d][i].ID.Equal(id) {
-					t.sets[l][d][i].Leaving = true
-					found = true
-				}
-			}
-			sortEntries(t.sets[l][d])
+	for i := range t.ents {
+		if t.ents[i].ID.Equal(id) {
+			t.ents[i].Leaving = true
+			found = true
 		}
 	}
 	return found
@@ -312,13 +364,13 @@ func (t *Table) MarkLeaving(id ids.ID) bool {
 // the mark and re-applies the capacity bound (evicting overflow, returned to
 // the caller for backpointer cleanup).
 func (t *Table) Pin(level int, id ids.ID) bool {
-	digit := id.Digit(level)
-	for i := range t.sets[level][digit] {
-		if t.sets[level][digit][i].ID.Equal(id) {
-			if !t.sets[level][digit][i].Pinned {
+	s := t.slot(level, id.Digit(level))
+	for i := int(t.off[s]); i < int(t.off[s+1]); i++ {
+		if t.ents[i].ID.Equal(id) {
+			if !t.ents[i].Pinned {
 				t.pinned++
 			}
-			t.sets[level][digit][i].Pinned = true
+			t.ents[i].Pinned = true
 			return true
 		}
 	}
@@ -327,36 +379,34 @@ func (t *Table) Pin(level int, id ids.ID) bool {
 
 // Unpin clears a pinned pointer and enforces R, returning evicted entries.
 func (t *Table) Unpin(level int, id ids.ID) (evicted []Entry) {
-	digit := id.Digit(level)
-	set := t.sets[level][digit]
-	for i := range set {
-		if set[i].ID.Equal(id) {
-			if set[i].Pinned {
+	s := t.slot(level, id.Digit(level))
+	for i := int(t.off[s]); i < int(t.off[s+1]); i++ {
+		if t.ents[i].ID.Equal(id) {
+			if t.ents[i].Pinned {
 				t.pinned--
 			}
-			set[i].Pinned = false
+			t.ents[i].Pinned = false
 		}
 	}
 	unpinned := 0
-	for _, x := range set {
-		if !x.Pinned {
+	for i := int(t.off[s]); i < int(t.off[s+1]); i++ {
+		if !t.ents[i].Pinned {
 			unpinned++
 		}
 	}
 	for unpinned > t.r {
-		last := lastUnpinned(set)
-		evicted = append(evicted, set[last])
-		set = removeAt(set, last)
+		last := t.lastUnpinnedIdx(s)
+		evicted = append(evicted, t.ents[last])
+		t.removeIdx(s, last)
 		unpinned--
 	}
-	t.sets[level][digit] = set
 	return evicted
 }
 
 // PinnedAt returns the pinned entries of N_{β,j}.
 func (t *Table) PinnedAt(level int, digit ids.Digit) []Entry {
 	var out []Entry
-	for _, e := range t.sets[level][digit] {
+	for _, e := range t.SetView(level, digit) {
 		if e.Pinned {
 			out = append(out, e)
 		}
@@ -369,32 +419,30 @@ func (t *Table) PinnedAt(level int, digit ids.Digit) []Entry {
 // owner). Because every entry at level l >= p.Len() shares the owner's
 // first l digits, scanning those rows for any non-self entry is a complete
 // local test whenever R >= 2 (the owner occupies at most one slot per set).
+// With the contiguous layout those rows are one tail range of the block.
 func (t *Table) OnlyNodeWithPrefix(p ids.Prefix) bool {
 	if !t.owner.HasPrefix(p) {
 		panic(fmt.Sprintf("route: prefix %v is not a prefix of owner %v", p, t.owner))
 	}
-	for l := p.Len(); l < t.spec.Digits; l++ {
-		for d := range t.sets[l] {
-			for _, e := range t.sets[l][d] {
-				if !e.ID.Equal(t.owner) {
-					return false
-				}
-			}
+	for _, e := range t.RangeView(p.Len(), t.spec.Digits) {
+		if !e.ID.Equal(t.owner) {
+			return false
 		}
 	}
 	return true
 }
 
 // ForEachNeighbor invokes fn once per distinct (level, entry) forward link,
-// excluding the owner's self entries.
+// excluding the owner's self entries, in ascending (level, digit, rank)
+// order.
 func (t *Table) ForEachNeighbor(fn func(level int, e Entry)) {
-	for l := 0; l < t.spec.Digits; l++ {
-		for d := range t.sets[l] {
-			for _, e := range t.sets[l][d] {
-				if !e.ID.Equal(t.owner) {
-					fn(l, e)
-				}
-			}
+	s := 0
+	for i, e := range t.ents {
+		for int(t.off[s+1]) <= i {
+			s++
+		}
+		if !e.ID.Equal(t.owner) {
+			fn(s/t.spec.Base, e)
 		}
 	}
 }
@@ -403,35 +451,38 @@ func (t *Table) ForEachNeighbor(fn func(level int, e Entry)) {
 // (the "space" measurement of Table 1).
 func (t *Table) NeighborCount() int {
 	n := 0
-	t.ForEachNeighbor(func(int, Entry) { n++ })
+	for i := range t.ents {
+		if !t.ents[i].ID.Equal(t.owner) {
+			n++
+		}
+	}
 	return n
 }
 
 // DistinctNeighbors returns each distinct neighbor (excluding self) once,
 // at its smallest level of appearance.
 func (t *Table) DistinctNeighbors() []Entry {
-	seen := map[string]Entry{}
+	seen := map[ids.ID]struct{}{}
+	out := []Entry{}
 	t.ForEachNeighbor(func(_ int, e Entry) {
-		if _, ok := seen[keyOf(e.ID)]; !ok {
-			seen[keyOf(e.ID)] = e
+		if _, ok := seen[e.ID]; !ok {
+			seen[e.ID] = struct{}{}
+			out = append(out, e)
 		}
 	})
-	out := make([]Entry, 0, len(seen))
-	for _, e := range seen {
-		out = append(out, e)
-	}
 	sortEntries(out)
 	return out
 }
 
-func keyOf(id ids.ID) string { return id.String() }
-
 // AddBack records that `e` holds the owner in its level-`level` neighbor
 // sets.
-func (t *Table) AddBack(level int, e Entry) { t.back[level][keyOf(e.ID)] = e }
+func (t *Table) AddBack(level int, e Entry) { t.back[level][e.ID] = e }
 
 // RemoveBack removes a backpointer.
-func (t *Table) RemoveBack(level int, id ids.ID) { delete(t.back[level], keyOf(id)) }
+func (t *Table) RemoveBack(level int, id ids.ID) { delete(t.back[level], id) }
+
+// BackCount returns the number of backpointers at a level.
+func (t *Table) BackCount(level int) int { return len(t.back[level]) }
 
 // Backs returns the backpointers at a level, sorted by distance for
 // determinism.
@@ -442,6 +493,24 @@ func (t *Table) Backs(level int) []Entry {
 	}
 	sortEntries(out)
 	return out
+}
+
+// AppendBacks appends the level's backpointers to dst in ascending ID order
+// — the deterministic iteration the maintenance and search paths use — and
+// returns the extended slice. No allocation beyond dst growth: the tail is
+// insertion-sorted in place rather than handed to sort.Slice.
+func (t *Table) AppendBacks(dst []Entry, level int) []Entry {
+	base := len(dst)
+	for _, e := range t.back[level] {
+		dst = append(dst, e)
+	}
+	tail := dst[base:]
+	for i := 1; i < len(tail); i++ {
+		for j := i; j > 0 && tail[j].ID.Less(tail[j-1].ID); j-- {
+			tail[j], tail[j-1] = tail[j-1], tail[j]
+		}
+	}
+	return dst
 }
 
 // AllBacks returns every (level, backpointer) pair.

@@ -613,17 +613,15 @@ func (nw *Network) RunMaintenance() Cost {
 }
 
 // SweepFailures makes every node probe its neighbors and repair dead links
-// (the heartbeat pass of Section 6.5). Returns the number of links removed;
-// zero on protocols without link repair.
+// (the heartbeat pass of Section 6.5). The probes are coalesced mesh-wide:
+// each distinct neighbor is probed once per sweep and the verdict shared
+// among its holders. Returns the number of links removed; zero on protocols
+// without link repair.
 func (nw *Network) SweepFailures() int {
 	if nw.mesh == nil {
 		return 0
 	}
-	removed := 0
-	for _, n := range nw.mesh.Nodes() {
-		removed += n.SweepDead(nil)
-	}
-	return removed
+	return nw.mesh.SweepDeadAll(nil)
 }
 
 // guid hashes an object name into the identifier namespace (Tapestry only).
