@@ -21,6 +21,8 @@ import (
 	"strings"
 	"time"
 
+	"tapestry"
+
 	"tapestry/internal/expt"
 	"tapestry/internal/microbench"
 )
@@ -44,7 +46,16 @@ func main() {
 	benchTolerance := flag.Float64("bench-tolerance", 0.25, "with -bench-baseline: allowed ns/op regression fraction (allocs/op tolerates none)")
 	benchTime := flag.Duration("bench-time", 200*time.Millisecond, "with -bench-json: target time per benchmark repetition")
 	benchCount := flag.Int("bench-count", 3, "with -bench-json: repetitions per benchmark; the minimum ns/op is reported")
+	transport := flag.String("transport", "", "message transport backend: direct | loopback | tcp (default: $TAPESTRY_TRANSPORT, then direct)")
 	flag.Parse()
+
+	if *transport != "" {
+		if _, err := tapestry.ParseTransport(*transport); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Setenv("TAPESTRY_TRANSPORT", *transport)
+	}
 
 	if *benchJSON {
 		runMicro(*benchBaseline, *benchTolerance, *benchTime, *benchCount)

@@ -1,0 +1,34 @@
+// Command tapestry-node runs one Tapestry overlay node as a standalone
+// process: a TCP daemon speaking the wire cluster protocol (internal/wire).
+// It starts empty; a harness — normally examples/cluster — provisions its
+// routing table and endpoint book with ClusterInstall and then drives
+// publish/locate traffic that the daemons forward among themselves.
+//
+// The daemon prints exactly one line, "LISTEN <host:port>", once the
+// listener is up, so a parent process can scrape the bound address (the
+// default binds an ephemeral port).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"tapestry/internal/procnode"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
+	flag.Parse()
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapestry-node:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("LISTEN %s\n", ln.Addr())
+	if err := procnode.New().Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "tapestry-node:", err)
+		os.Exit(1)
+	}
+}

@@ -46,7 +46,16 @@ func main() {
 	scaleNodes := flag.Int("scale-nodes", 0, "with -run E-scale: initial overlay population (0 = params default)")
 	planetNodes := flag.Int("planet-nodes", 0, "with -run E-planet: overlay population of the virtual-time run (0 = params default)")
 	planetObjects := flag.Int("planet-objects", 0, "with -run E-planet: published objects (0 = params default)")
+	transport := flag.String("transport", "", "message transport backend: direct | loopback | tcp (default: $TAPESTRY_TRANSPORT, then direct)")
 	flag.Parse()
+
+	if *transport != "" {
+		if _, err := tapestry.ParseTransport(*transport); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Setenv("TAPESTRY_TRANSPORT", *transport)
+	}
 
 	if *run != "" {
 		runExperiments(*run, *quick, *seed, *workers, *format,

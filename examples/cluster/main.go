@@ -1,0 +1,240 @@
+// Cluster: the multi-process overlay, end to end. The harness computes a
+// Tapestry overlay centrally (an in-memory core mesh over a ring metric),
+// boots one cmd/tapestry-node daemon process per overlay node, installs each
+// daemon's routing table and endpoint book over TCP with the wire cluster
+// protocol, and then drives publish and locate traffic that the daemons
+// forward among themselves — every hop of every walk a real socket exchange
+// between real processes.
+//
+// Each daemon-routed walk is cross-checked against the central mesh: the
+// root a publish terminates at must equal the surrogate the in-memory
+// overlay computes for the same key, and every located replica must be the
+// server the object was actually placed on. Run from the repository root
+// (the harness builds cmd/tapestry-node with the go tool).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tapestry/internal/core"
+	"tapestry/internal/ids"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+	"tapestry/internal/wire"
+)
+
+// daemon is the harness's view of one spawned tapestry-node process: its
+// overlay identity and one persistent control connection.
+type daemon struct {
+	proc *exec.Cmd
+	hp   string // daemon's host:port
+	conn net.Conn
+	rbuf []byte
+	wbuf []byte
+}
+
+// exchange performs one request/response round trip on the control conn.
+func (d *daemon) exchange(req wire.Msg, want wire.Type) (wire.Msg, error) {
+	var err error
+	if d.wbuf, err = wire.WriteMsg(d.conn, d.wbuf, req); err != nil {
+		return nil, err
+	}
+	frame, err := wire.ReadFrame(d.conn, d.rbuf)
+	d.rbuf = frame
+	if err != nil {
+		return nil, err
+	}
+	resp, _, err := wire.DecodeFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if resp.WireType() != want {
+		return nil, fmt.Errorf("reply type %v, want %v", resp.WireType(), want)
+	}
+	return resp, nil
+}
+
+func main() {
+	n := flag.Int("n", 100, "daemon processes to boot")
+	objects := flag.Int("objects", 50, "objects to publish (round-robin servers)")
+	queries := flag.Int("queries", 200, "random (client, object) locate queries")
+	seed := flag.Int64("seed", 1, "RNG seed for the overlay build and workload")
+	flag.Parse()
+	if err := run(*n, *objects, *queries, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n, objects, queries int, seed int64) error {
+	// 1. Build the daemon binary once; spawning 100+ `go run` children would
+	// pay the toolchain startup per process.
+	tmp, err := os.MkdirTemp("", "tapestry-cluster")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "tapestry-node")
+	if out, err := exec.Command("go", "build", "-o", bin, "tapestry/cmd/tapestry-node").CombinedOutput(); err != nil {
+		return fmt.Errorf("building tapestry-node: %v\n%s", err, out)
+	}
+
+	// 2. Compute the overlay centrally: a core mesh over a ring metric. The
+	// daemons get static snapshots of these tables; the in-memory mesh stays
+	// around as the oracle the daemon walks are checked against.
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(n * 4)
+	mesh, err := core.NewMesh(netsim.New(space), cfg)
+	if err != nil {
+		return err
+	}
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	nodes, _, err := mesh.GrowSequential(addrs, rng)
+	if err != nil {
+		return err
+	}
+
+	// 3. Boot one daemon per overlay node and scrape its bound address.
+	start := time.Now()
+	daemons := make([]*daemon, n)
+	defer func() {
+		for _, d := range daemons {
+			if d == nil {
+				continue
+			}
+			if d.conn != nil {
+				d.conn.Close()
+			}
+			if d.proc != nil {
+				d.proc.Process.Kill()
+				d.proc.Wait()
+			}
+		}
+	}()
+	for i := range daemons {
+		proc := exec.Command(bin)
+		proc.Stderr = os.Stderr
+		stdout, err := proc.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := proc.Start(); err != nil {
+			return fmt.Errorf("daemon %d: %v", i, err)
+		}
+		daemons[i] = &daemon{proc: proc}
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			return fmt.Errorf("daemon %d exited before announcing its address", i)
+		}
+		hp, ok := strings.CutPrefix(sc.Text(), "LISTEN ")
+		if !ok {
+			return fmt.Errorf("daemon %d: unexpected banner %q", i, sc.Text())
+		}
+		daemons[i].hp = hp
+		// The pipe stays open but unread from here on; the daemon prints
+		// nothing else, so no writer ever blocks on it.
+	}
+	fmt.Printf("booted %d daemon processes in %v\n", n, time.Since(start).Round(time.Millisecond))
+
+	// 4. Install each daemon: identity, flattened routing table, and the
+	// address book mapping every overlay address to its daemon's socket.
+	eps := make([]wire.Endpoint, n)
+	for i, d := range daemons {
+		eps[i] = wire.Endpoint{Addr: nodes[i].Addr(), HostPort: d.hp}
+	}
+	for i, d := range daemons {
+		if d.conn, err = net.DialTimeout("tcp", d.hp, 5*time.Second); err != nil {
+			return fmt.Errorf("dialing daemon %d: %v", i, err)
+		}
+		inst := &wire.ClusterInstall{
+			Base:      mesh.Spec().Base,
+			Digits:    mesh.Spec().Digits,
+			R:         cfg.R,
+			Self:      route.Entry{ID: nodes[i].ID(), Addr: nodes[i].Addr()},
+			Endpoints: eps,
+		}
+		nodes[i].Table().ForEachNeighbor(func(l int, e route.Entry) {
+			inst.Rows = append(inst.Rows, wire.LeveledEntry{Level: l, E: e})
+		})
+		if _, err := d.exchange(inst, wire.TClusterAck); err != nil {
+			return fmt.Errorf("installing daemon %d: %v", i, err)
+		}
+	}
+	fmt.Printf("installed %d routing tables (%d-ary digits, %d levels)\n",
+		n, mesh.Spec().Base, mesh.Spec().Digits)
+
+	// 5. Publish: each object is stored at a round-robin server; the server's
+	// daemon deposits pointers hop by hop toward the key's root. The root a
+	// walk terminates at must match the central mesh's surrogate.
+	guids := make([]ids.ID, objects)
+	servers := make([]int, objects)
+	published := 0
+	for j := range guids {
+		guids[j] = mesh.Spec().Hash(fmt.Sprintf("object-%04d", j))
+		servers[j] = j % n
+		s := servers[j]
+		if _, err := daemons[s].exchange(&wire.ClusterServe{GUIDs: guids[j : j+1]}, wire.TClusterAck); err != nil {
+			return fmt.Errorf("serve %d: %v", j, err)
+		}
+		resp, err := daemons[s].exchange(&wire.ClusterPublish{
+			GUID: guids[j], Key: guids[j],
+			Server: nodes[s].ID(), ServerAddr: nodes[s].Addr(),
+		}, wire.TClusterPubDone)
+		if err != nil {
+			return fmt.Errorf("publish %d: %v", j, err)
+		}
+		root := resp.(*wire.ClusterPubDone).Root
+		oracle, _, err := nodes[s].SurrogateFor(guids[j], nil)
+		if err != nil {
+			return fmt.Errorf("oracle surrogate %d: %v", j, err)
+		}
+		if root.IsZero() || !root.Equal(oracle.ID()) {
+			fmt.Printf("publish %d: daemon root %v, oracle root %v\n", j, root, oracle.ID())
+			continue
+		}
+		published++
+	}
+	fmt.Printf("published %d/%d objects (daemon roots match the central mesh)\n", published, objects)
+
+	// 6. Locate from random clients; every hit must name the true server.
+	found, hops := 0, 0
+	for q := 0; q < queries; q++ {
+		j := rng.Intn(objects)
+		c := rng.Intn(n)
+		resp, err := daemons[c].exchange(&wire.ClusterLocate{GUID: guids[j], Key: guids[j]},
+			wire.TClusterFound)
+		if err != nil {
+			return fmt.Errorf("locate %d: %v", q, err)
+		}
+		f := resp.(*wire.ClusterFound)
+		if f.Found && f.ServerAddr == nodes[servers[j]].Addr() {
+			found++
+			hops += f.Hops
+		}
+	}
+	fmt.Printf("queries: %d/%d found | mean hops %.2f\n", found, queries,
+		float64(hops)/float64(max(found, 1)))
+
+	if published != objects || found != queries {
+		return fmt.Errorf("cluster run incomplete: %d/%d published, %d/%d found",
+			published, objects, found, queries)
+	}
+	fmt.Println("OK: every publish and every locate succeeded over real sockets")
+	return nil
+}

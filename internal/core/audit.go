@@ -8,6 +8,7 @@ import (
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/wire"
 )
 
 // GrowSequential joins count new nodes one at a time through random live
@@ -198,7 +199,7 @@ func (m *Mesh) AuditUniqueRoots(keys []ids.ID) []string {
 	for _, key := range keys {
 		var rootID ids.ID
 		for _, n := range nodes {
-			res, err := n.routeToKey(key, nil, nil)
+			res, err := n.routeToKey(key, nil, wire.RouteOpRoute, nil)
 			if err != nil {
 				violations = append(violations, fmt.Sprintf("key %v from %v: %v", key, n.id, err))
 				continue
@@ -223,7 +224,7 @@ func (m *Mesh) AuditProperty4() []string {
 		for _, guid := range server.PublishedObjects() {
 			for s := 0; s < m.cfg.RootSetSize; s++ {
 				key := m.cfg.Spec.Salt(guid, s)
-				_, err := server.routeToKey(key, nil, func(cur *Node, level int) bool {
+				_, err := server.routeToKey(key, nil, wire.RouteOpRoute, func(cur *Node, level int) bool {
 					cur.mu.Lock()
 					ok := false
 					if st := cur.objects[guid]; st != nil {

@@ -6,6 +6,7 @@ import (
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/wire"
 )
 
 // Join inserts a new node into the overlay (Section 4, Figure 7):
@@ -47,28 +48,16 @@ func (m *Mesh) Join(gateway *Node, newID ids.ID, addr netsim.Addr) (*Node, *nets
 	// Step 2: preliminary neighbor table (GetPrelimNeighborTable): every
 	// link the surrogate has, re-evaluated from the new node's vantage
 	// point. The table may be far from optimal but satisfies connectivity.
-	if err := m.net.RPC(addr, surrogate.addr, cost); err != nil {
+	// The surrogate-side work — pinning the new node and snapshotting the
+	// table — runs in the JoinSnapshotReq dispatch handler (joinSnapshot).
+	f := m.getFrames()
+	f.joinReq.NewID, f.joinReq.NewAddr, f.joinReq.PinLevel = newID, addr, alpha.Len()
+	if _, err := m.invoke(addr, surrogate.entryFor(addr), &f.joinReq, &f.joinResp, cost, true); err != nil {
+		m.putFrames(f)
 		m.abortJoin(n)
 		return nil, cost, fmt.Errorf("core: surrogate died mid-join: %w", err)
 	}
-	// Pin the new node at its surrogate for the whole insertion, BEFORE
-	// taking the preliminary snapshot. α is a prefix of the surrogate's own
-	// ID, so any concurrent insertion's multicast self-recurses at the
-	// surrogate down to level |α| and gets forwarded to the pinned new node
-	// — the §4.4 guarantee that simultaneous inserters discover each other
-	// even when their multicasts are in flight at the same time. (The
-	// multicast below pins it at every reached node too, but that only
-	// helps multicasts that start after this one's wavefront has passed.)
-	pe := route.Entry{ID: n.id, Addr: addr,
-		Distance: m.net.Distance(surrogate.addr, addr), Pinned: true}
-	surrogate.mu.Lock()
-	pinAdded, _ := surrogate.table.Add(alpha.Len(), pe) // pinned adds never evict
-	surrogate.mu.Unlock()
-	if pinAdded {
-		surrogate.sendBackpointerAdd(alpha.Len(), pe, cost)
-	}
-	prelim := surrogate.snapshotTable()
-	n.installPreliminary(surrogate, prelim, cost)
+	n.installPreliminary(surrogate, f.joinResp.Rows, cost)
 
 	// Step 3: acknowledged multicast over α with the watch list.
 	watch := n.holeSlots()
@@ -83,10 +72,14 @@ func (m *Mesh) Join(gateway *Node, newID ids.ID, addr netsim.Addr) (*Node, *nets
 		visited:   map[ids.ID]struct{}{},
 		pinned:    []*Node{surrogate}, // the step-2 pin, released with the rest
 	}
-	if err := m.net.Send(addr, surrogate.addr, cost, false); err != nil {
+	f.mcast.P, f.mcast.Root = alpha, alpha
+	f.mcast.NewNode, f.mcast.HoleLevel = ctx.newNode, alpha.Len()
+	if _, err := m.oneWayMsg(addr, surrogate.entryFor(addr), &f.mcast, cost); err != nil {
+		m.putFrames(f)
 		m.abortJoin(n)
 		return nil, cost, fmt.Errorf("core: surrogate died before multicast: %w", err)
 	}
+	m.putFrames(f)
 	surrogate.mcastArrive(alpha, ctx)
 	alphaList := ctx.reachedEntries()
 
@@ -114,9 +107,41 @@ func (m *Mesh) abortJoin(n *Node) {
 	m.unregister(n)
 }
 
+// joinSnapshot is the surrogate-side handler for join step 2: pin the new
+// node at its surrogate for the whole insertion, BEFORE taking the
+// preliminary snapshot. α is a prefix of the surrogate's own ID, so any
+// concurrent insertion's multicast self-recurses at the surrogate down to
+// level |α| and gets forwarded to the pinned new node — the §4.4 guarantee
+// that simultaneous inserters discover each other even when their multicasts
+// are in flight at the same time. (The insertion multicast pins it at every
+// reached node too, but that only helps multicasts that start after this
+// one's wavefront has passed.) The response carries the surrogate's table
+// flattened in ascending (level, digit) order — the same order the old
+// per-level snapshot was consumed in, so installation (and its eviction
+// tie-breaks) is unchanged.
+func (s *Node) joinSnapshot(q *wire.JoinSnapshotReq, r *wire.JoinSnapshotResp, cost *netsim.Cost) {
+	pe := route.Entry{ID: q.NewID, Addr: q.NewAddr,
+		Distance: s.mesh.net.Distance(s.addr, q.NewAddr), Pinned: true}
+	s.mu.Lock()
+	pinAdded, _ := s.table.Add(q.PinLevel, pe) // pinned adds never evict
+	s.mu.Unlock()
+	if pinAdded {
+		s.sendBackpointerAdd(q.PinLevel, pe, cost)
+	}
+	r.Rows = r.Rows[:0]
+	s.mu.Lock()
+	s.table.ForEachNeighbor(func(l int, e route.Entry) {
+		r.Rows = append(r.Rows, wire.LeveledEntry{Level: l, E: e})
+	})
+	s.mu.Unlock()
+}
+
 // installPreliminary seeds the new node's table from the surrogate's links
 // (plus the surrogate itself), with distances recomputed from the new node.
-func (n *Node) installPreliminary(surrogate *Node, prelim map[int][]route.Entry, cost *netsim.Cost) {
+// rows arrive level-ascending (see joinSnapshot), which keeps installation
+// order — and eviction tie-breaks among equal-distance candidates —
+// deterministic.
+func (n *Node) installPreliminary(surrogate *Node, rows []wire.LeveledEntry, cost *netsim.Cost) {
 	addAtAllLevels := func(e route.Entry) {
 		if e.ID.Equal(n.id) {
 			return
@@ -129,18 +154,13 @@ func (n *Node) installPreliminary(surrogate *Node, prelim map[int][]route.Entry,
 		}
 	}
 	addAtAllLevels(surrogate.entryFor(n.addr))
-	// Walk levels in ascending order — prelim is a map, and installation
-	// order decides evictions among equal-distance candidates, so iterating
-	// it directly would make joins (and their message costs) nondeterministic.
 	seen := map[ids.ID]struct{}{}
-	for _, l := range sortedLevels(prelim) {
-		for _, e := range prelim[l] {
-			if _, dup := seen[e.ID]; dup {
-				continue
-			}
-			seen[e.ID] = struct{}{}
-			addAtAllLevels(e)
+	for _, r := range rows {
+		if _, dup := seen[r.E.ID]; dup {
+			continue
 		}
+		seen[r.E.ID] = struct{}{}
+		addAtAllLevels(r.E)
 	}
 }
 

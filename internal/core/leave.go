@@ -59,18 +59,18 @@ func (n *Node) Leave(cost *netsim.Cost) error {
 	backs := n.table.AllBacks()
 	n.mu.Unlock()
 
-	// Phase 1: leaving notification with per-level replacements.
+	// Phase 1: leaving notification with per-level replacements. The
+	// holder-side work runs in the LeaveNotify dispatch handler
+	// (onPeerLeaving); dead holders are skipped, as before.
+	f := n.mesh.getFrames()
 	for _, level := range sortedLevels(backs) {
-		holders := backs[level]
-		replacements := n.replacementsAt(level)
-		for _, h := range holders {
-			holder, err := n.mesh.oneWay(n.addr, h, cost)
-			if err != nil {
-				continue
-			}
-			holder.onPeerLeaving(n, level, replacements, cost)
+		f.leave.Leaver, f.leave.Level = n.id, level
+		f.leave.Replacements = n.replacementsAt(level)
+		for _, h := range backs[level] {
+			_, _ = n.mesh.oneWayMsg(n.addr, h, &f.leave, cost)
 		}
 	}
+	f.leave.Replacements = nil
 
 	// Phase 2a: withdraw replicas this node serves (they depart with it).
 	for _, g := range n.PublishedObjects() {
@@ -115,31 +115,26 @@ func (n *Node) Leave(cost *netsim.Cost) error {
 	n.mu.Unlock()
 
 	seen := map[ids.ID]struct{}{}
+	f.deleted.ID = n.id
 	for _, level := range sortedLevels(backs) {
 		for _, h := range backs[level] {
 			if _, ok := seen[h.ID]; ok {
 				continue
 			}
 			seen[h.ID] = struct{}{}
-			holder, err := n.mesh.oneWay(n.addr, h, cost)
-			if err != nil {
-				continue
-			}
-			holder.onPeerDeleted(n.id, cost)
+			_, _ = n.mesh.oneWayMsg(n.addr, h, &f.deleted, cost)
 		}
 	}
-	for _, f := range forwards {
-		if _, ok := seen[f.ID]; ok {
+	f.drop.ID = n.id
+	for _, fe := range forwards {
+		if _, ok := seen[fe.ID]; ok {
 			continue
 		}
-		peer, err := n.mesh.oneWay(n.addr, f, cost)
-		if err != nil {
-			continue
-		}
-		peer.mu.Lock()
-		peer.table.Remove(n.id) // also clears any backpointer entries for n
-		peer.mu.Unlock()
+		// The DropLinks handler removes n from the peer's table, which also
+		// clears any backpointer entries for n.
+		_, _ = n.mesh.oneWayMsg(n.addr, fe, &f.drop, cost)
 	}
+	n.mesh.putFrames(f)
 
 	n.mesh.net.Detach(n.addr)
 	n.mesh.unregister(n)
@@ -165,7 +160,7 @@ func (n *Node) replacementsAt(level int) []route.Entry {
 // onPeerLeaving is the phase-1 handler at a backpointer holder: mark links
 // leaving, adopt offered replacements, and re-route pointer paths that ran
 // through the leaver as if it were gone.
-func (h *Node) onPeerLeaving(leaver *Node, level int, replacements []route.Entry, cost *netsim.Cost) {
+func (h *Node) onPeerLeaving(leaver ids.ID, level int, replacements []route.Entry, cost *netsim.Cost) {
 	for _, r := range replacements {
 		if r.ID.Equal(h.id) {
 			continue
@@ -198,7 +193,7 @@ func (h *Node) onPeerLeaving(leaver *Node, level int, replacements []route.Entry
 				continue
 			}
 			dec := h.nextHop(r.key, r.level, ids.ID{}, nil)
-			if !dec.terminal && dec.next.ID.Equal(leaver.id) {
+			if !dec.terminal && dec.next.ID.Equal(leaver) {
 				rerouted = append(rerouted, work{r.guid, r})
 			}
 		}
@@ -206,10 +201,10 @@ func (h *Node) onPeerLeaving(leaver *Node, level int, replacements []route.Entry
 	h.mu.Unlock()
 	now := h.mesh.net.Epoch()
 	for _, w := range rerouted {
-		h.forwardPointerPath(w.guid, w.rec, now, cost, leaver.id)
+		h.forwardPointerPath(w.guid, w.rec, now, cost, leaver)
 	}
 	h.mu.Lock()
-	h.table.MarkLeaving(leaver.id)
+	h.table.MarkLeaving(leaver)
 	h.mu.Unlock()
 }
 

@@ -65,6 +65,9 @@ func (n *Node) nextHopLocal(key ids.ID, level, region int) hopDecision {
 // applying visit at each node (including endpoints); it returns the local
 // root. All hops are intra-stub by construction.
 func (n *Node) localWalk(key ids.ID, region int, cost *netsim.Cost, visit func(cur *Node, level int) bool) *Node {
+	f := n.mesh.getFrames()
+	defer n.mesh.putFrames(f)
+	f.local.Key, f.local.Region = key, region
 	cur := n
 	level := 0
 	hops := 0
@@ -79,7 +82,8 @@ func (n *Node) localWalk(key ids.ID, region int, cost *netsim.Cost, visit func(c
 		if dec.terminal {
 			return cur
 		}
-		next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
+		f.local.Level = dec.nextLevel
+		next, err := n.mesh.invoke(cur.addr, dec.next, &f.local, msgAck, cost, true)
 		if err != nil {
 			cur.noteDead(dec.next, cost)
 			continue

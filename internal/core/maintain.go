@@ -4,6 +4,7 @@ import (
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/wire"
 )
 
 // Batched soft-state maintenance (Section 6.5). The per-object, per-link
@@ -51,7 +52,7 @@ func (m *Mesh) SweepDeadAll(cost *netsim.Cost) int {
 				seen[e.ID] = struct{}{}
 				alive, probed := verdict[e.ID]
 				if !probed {
-					_, err := m.rpc(n.addr, e, cost, false)
+					_, err := m.invoke(n.addr, e, msgPing, msgAck, cost, false)
 					alive = err == nil
 					verdict[e.ID] = alive
 				}
@@ -64,18 +65,6 @@ func (m *Mesh) SweepDeadAll(cost *netsim.Cost) int {
 	return removed
 }
 
-// pubRec is one record of a batched republish caravan: which (guid, salted
-// key) path it lays, how many digits are resolved so far, and the previous
-// hop for the pointer's backward link.
-type pubRec struct {
-	guid     ids.ID
-	key      ids.ID
-	level    int
-	prevID   ids.ID
-	prevAddr netsim.Addr
-	hops     int
-}
-
 // republishBatched re-lays the publish paths of the given served objects,
 // visiting nodes exactly as publishPath would (deposit at every hop,
 // convergence teardown, root flag at the terminal) but carrying all records
@@ -85,18 +74,20 @@ type pubRec struct {
 func (n *Node) republishBatched(guids []ids.ID, cost *netsim.Cost) {
 	spec := n.mesh.cfg.Spec
 	now := n.mesh.net.Epoch()
-	recs := make([]pubRec, 0, len(guids)*n.mesh.cfg.RootSetSize)
+	recs := make([]wire.PubRec, 0, len(guids)*n.mesh.cfg.RootSetSize)
 	for _, g := range guids {
 		for i := 0; i < n.mesh.cfg.RootSetSize; i++ {
-			recs = append(recs, pubRec{guid: g, key: spec.Salt(g, i), prevAddr: n.addr})
+			recs = append(recs, wire.PubRec{GUID: g, Key: spec.Salt(g, i), PrevAddr: n.addr})
 		}
 	}
 
 	type batch struct {
 		node *Node
-		recs []pubRec
+		recs []wire.PubRec
 	}
 	maxHops := n.table.Levels()*n.table.Base() + 8 // same loop guard as routeToKey
+	cf := n.mesh.getFrames()
+	cf.caravan.Server, cf.caravan.ServerAddr = n.id, n.addr
 	queue := []batch{{n, recs}}
 	for len(queue) > 0 {
 		b := queue[0]
@@ -109,18 +100,18 @@ func (n *Node) republishBatched(guids []ids.ID, cost *netsim.Cost) {
 		for i := range b.recs {
 			r := &b.recs[i]
 			rec := pointerRec{
-				guid:       r.guid,
+				guid:       r.GUID,
 				server:     n.id,
 				serverAddr: n.addr,
-				key:        r.key,
-				lastHop:    r.prevID,
-				lastAddr:   r.prevAddr,
-				level:      r.level,
+				key:        r.Key,
+				lastHop:    r.PrevID,
+				lastAddr:   r.PrevAddr,
+				level:      r.Level,
 				epoch:      now,
 			}
 			old, existed := cur.depositPointer(rec)
-			if existed && !old.lastHop.IsZero() && !old.lastHop.Equal(r.prevID) {
-				cur.deleteBackward(r.guid, r.key, n.id, old.lastHop, old.lastAddr, n.id, cost)
+			if existed && !old.lastHop.IsZero() && !old.lastHop.Equal(r.PrevID) {
+				cur.deleteBackward(r.GUID, r.Key, n.id, old.lastHop, old.lastAddr, n.id, cost)
 			}
 		}
 
@@ -142,7 +133,7 @@ func (n *Node) republishBatched(guids []ids.ID, cost *netsim.Cost) {
 			byNext := map[ids.ID]*group{}
 			cur.mu.Lock()
 			for _, i := range idxs {
-				dec := cur.nextHop(b.recs[i].key, b.recs[i].level, ids.ID{}, deadSet)
+				dec := cur.nextHop(b.recs[i].Key, b.recs[i].Level, ids.ID{}, deadSet)
 				if dec.terminal {
 					terminals = append(terminals, i)
 					continue
@@ -168,7 +159,21 @@ func (n *Node) republishBatched(guids []ids.ID, cost *netsim.Cost) {
 
 		for gi := 0; gi < len(groups); gi++ {
 			g := groups[gi]
-			next, err := n.mesh.rpc(cur.addr, g.next, cost, true)
+			// The forwarded records ride the CaravanStep hop itself (one
+			// message per distinct next hop, as before).
+			sub := make([]wire.PubRec, 0, len(g.idxs))
+			for _, i := range g.idxs {
+				r := b.recs[i]
+				r.Level = nextLevels[i]
+				r.PrevID, r.PrevAddr = cur.id, cur.addr
+				r.Hops++
+				if r.Hops > maxHops {
+					continue // inconsistent mesh; drop like RepublishAll drops errors
+				}
+				sub = append(sub, r)
+			}
+			cf.caravan.Recs = sub
+			next, err := n.mesh.invoke(cur.addr, g.next, &cf.caravan, msgAck, cost, true)
 			if err != nil {
 				if deadSet == nil {
 					deadSet = make(map[ids.ID]struct{}, 2)
@@ -182,17 +187,6 @@ func (n *Node) republishBatched(guids []ids.ID, cost *netsim.Cost) {
 				groups = append(groups, g2...)
 				continue
 			}
-			sub := make([]pubRec, 0, len(g.idxs))
-			for _, i := range g.idxs {
-				r := b.recs[i]
-				r.level = nextLevels[i]
-				r.prevID, r.prevAddr = cur.id, cur.addr
-				r.hops++
-				if r.hops > maxHops {
-					continue // inconsistent mesh; drop like RepublishAll drops errors
-				}
-				sub = append(sub, r)
-			}
 			if len(sub) > 0 {
 				queue = append(queue, batch{next, sub})
 			}
@@ -200,13 +194,15 @@ func (n *Node) republishBatched(guids []ids.ID, cost *netsim.Cost) {
 
 		handleTerminalRecords(n, cur, b.recs, terminals, cost)
 	}
+	cf.caravan.Recs = nil
+	n.mesh.putFrames(cf)
 }
 
 // handleTerminalRecords finishes records whose walk ends at cur: flag them
 // as roots, unless cur is still inserting — then fall back to the unbatched
 // publishPath, which implements the Figure 10 bounce off the pre-insertion
 // surrogate.
-func handleTerminalRecords(server, cur *Node, recs []pubRec, idxs []int, cost *netsim.Cost) {
+func handleTerminalRecords(server, cur *Node, recs []wire.PubRec, idxs []int, cost *netsim.Cost) {
 	if len(idxs) == 0 {
 		return
 	}
@@ -215,9 +211,9 @@ func handleTerminalRecords(server, cur *Node, recs []pubRec, idxs []int, cost *n
 	bounce := inserting && !cur.psurrogate.ID.IsZero()
 	if !bounce {
 		for _, i := range idxs {
-			if st := cur.objects[recs[i].guid]; st != nil {
+			if st := cur.objects[recs[i].GUID]; st != nil {
 				for j := range st.recs {
-					if st.recs[j].samePath(server.id, recs[i].key) {
+					if st.recs[j].samePath(server.id, recs[i].Key) {
 						st.recs[j].root = true
 					}
 				}
@@ -227,7 +223,7 @@ func handleTerminalRecords(server, cur *Node, recs []pubRec, idxs []int, cost *n
 	cur.mu.Unlock()
 	if bounce {
 		for _, i := range idxs {
-			_ = server.publishPath(recs[i].guid, recs[i].key, cost)
+			_ = server.publishPath(recs[i].GUID, recs[i].Key, cost)
 		}
 	}
 }

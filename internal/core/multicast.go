@@ -8,6 +8,7 @@ import (
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/wire"
 )
 
 // slotRef names one routing-table slot (level, digit).
@@ -158,15 +159,19 @@ func (n *Node) mcastArrive(p ids.Prefix, ctx *mcastCtx) {
 			n.sendBackpointerAdd(ctx.holeLevel, e, ctx.cost)
 		}
 		// Watch list: if this node fills a slot the inserting node still
-		// lacks, tell it directly (Figure 11, CheckForNodesAndSend).
+		// lacks, tell it directly (Figure 11, CheckForNodesAndSend). The
+		// inserting node's side — adopting the sender at each claimed slot —
+		// runs in the McastNotify dispatch handler.
 		if slots := ctx.watch.claim(n.id); len(slots) > 0 && ctx.newRef != nil {
-			if _, err := n.mesh.oneWay(n.addr, ctx.newNode, ctx.cost); err == nil {
-				me := route.Entry{ID: n.id, Addr: n.addr,
-					Distance: n.mesh.net.Distance(ctx.newNode.Addr, n.addr)}
-				for _, s := range slots {
-					ctx.newRef.addNeighborAndNotify(s.level, me, ctx.cost)
-				}
+			f := n.mesh.getFrames()
+			f.notify.Me = route.Entry{ID: n.id, Addr: n.addr,
+				Distance: n.mesh.net.Distance(ctx.newNode.Addr, n.addr)}
+			f.notify.Slots = f.notify.Slots[:0]
+			for _, s := range slots {
+				f.notify.Slots = append(f.notify.Slots, wire.Slot{Level: s.level, Digit: s.digit})
 			}
+			_, _ = n.mesh.oneWayMsg(n.addr, ctx.newNode, &f.notify, ctx.cost)
+			n.mesh.putFrames(f)
 		}
 	}
 
@@ -199,11 +204,16 @@ func (n *Node) mcastArrive(p ids.Prefix, ctx *mcastCtx) {
 		if !ctx.newNode.ID.IsZero() && e.ID.Equal(ctx.newNode.ID) {
 			continue
 		}
-		child, err := n.mesh.rpc(n.addr, e, ctx.cost, false)
+		cp := ctx.root.Extend(e.ID.Digit(ctx.root.Len()))
+		f := n.mesh.getFrames()
+		f.mcast.P, f.mcast.Root = cp, ctx.root
+		f.mcast.NewNode, f.mcast.HoleLevel = ctx.newNode, ctx.holeLevel
+		child, err := n.mesh.invoke(n.addr, e, &f.mcast, msgAck, ctx.cost, false)
+		n.mesh.putFrames(f)
 		if err != nil {
 			continue // died mid-insertion; its abort cleans up
 		}
-		child.mcastArrive(ctx.root.Extend(e.ID.Digit(ctx.root.Len())), ctx)
+		child.mcastArrive(cp, ctx)
 	}
 
 	n.mcastDescend(p, ctx)
@@ -279,12 +289,17 @@ func (n *Node) mcastDescend(p ids.Prefix, ctx *mcastCtx) {
 		if !ctx.newNode.ID.IsZero() && t.e.ID.Equal(ctx.newNode.ID) {
 			continue // no point multicasting the new node to itself
 		}
-		child, err := n.mesh.rpc(n.addr, t.e, ctx.cost, false)
+		cp := p.Extend(t.j)
+		f := n.mesh.getFrames()
+		f.mcast.P, f.mcast.Root = cp, ctx.root
+		f.mcast.NewNode, f.mcast.HoleLevel = ctx.newNode, ctx.holeLevel
+		child, err := n.mesh.invoke(n.addr, t.e, &f.mcast, msgAck, ctx.cost, false)
+		n.mesh.putFrames(f)
 		if err != nil {
 			n.noteDead(t.e, ctx.cost)
 			continue
 		}
-		child.mcastArrive(p.Extend(t.j), ctx)
+		child.mcastArrive(cp, ctx)
 	}
 	if !selfHandled {
 		// The fan-out may have skipped the self digit if its set's primary

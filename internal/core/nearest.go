@@ -6,6 +6,7 @@ import (
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/wire"
 )
 
 // This file implements the paper's level-by-level nearest-neighbor search
@@ -53,6 +54,11 @@ type nnScratch struct {
 	list   []route.Entry // matchers result (re-filled per call)
 	seeds  []route.Entry // vantage-table seed gathering
 	found  []route.Entry // per-peer fold buffer
+
+	// bandReq/bandResp are the recycled wire messages of queryPeer's
+	// table-band RPC; bandResp decodes straight into the found buffer.
+	bandReq  wire.TableBandReq
+	bandResp wire.TableBandResp
 }
 
 func newNNScratch() *nnScratch {
@@ -202,7 +208,9 @@ func (s *nnSearch) queryPeer(e route.Entry, floor int) bool {
 		fold = f
 	}
 	s.floors[e.ID] = floor
-	peer, err := s.n.mesh.rpc(s.n.addr, e, s.cost, false)
+	s.bandReq.Floor, s.bandReq.Fold = floor, fold
+	s.bandResp.Entries = s.found[:0]
+	peer, err := s.n.mesh.invoke(s.n.addr, e, &s.bandReq, &s.bandResp, s.cost, false)
 	if err != nil {
 		s.failed[e.ID] = struct{}{}
 		if s.onDead != nil {
@@ -210,23 +218,8 @@ func (s *nnSearch) queryPeer(e route.Entry, floor int) bool {
 		}
 		return false
 	}
-	peer.mu.Lock()
-	top := peer.table.Levels()
-	if fold >= 0 && fold < top {
-		top = fold
-	}
-	found := s.found[:0]
-	if floor < top {
-		// The whole [floor, top) row band is one contiguous copy under the
-		// SoA layout; backpointer maps fold per level.
-		found = append(found, peer.table.RangeView(floor, top)...)
-		for l := floor; l < top; l++ {
-			found = peer.table.AppendBacks(found, l)
-		}
-	}
-	peer.mu.Unlock()
-	s.found = found
-	for _, f := range found {
+	s.found = s.bandResp.Entries
+	for _, f := range s.found {
 		s.add(f)
 	}
 	if s.onPeer != nil {

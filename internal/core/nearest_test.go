@@ -12,6 +12,7 @@ import (
 	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/wire"
 )
 
 // oracleClosest scans every live node and returns the nodes qualifying for
@@ -355,7 +356,7 @@ func TestNearestRepairConcurrentChurn(t *testing.T) {
 	key := testSpec.Hash("post-churn-key")
 	var rootID ids.ID
 	for _, n := range m.Nodes() {
-		res, err := n.routeToKey(key, nil, nil)
+		res, err := n.routeToKey(key, nil, wire.RouteOpRoute, nil)
 		if err != nil {
 			t.Fatalf("routing from %v failed post-churn: %v", n.id, err)
 		}

@@ -123,6 +123,10 @@ type Config struct {
 	// constructions (BuildStatic, BuildStaticSampled); 0 means one worker
 	// per CPU. The built mesh is byte-identical for every value.
 	BuildWorkers int
+	// Transport selects the node-to-node message backend (transport.go). The
+	// zero value TransportAuto consults TAPESTRY_TRANSPORT and falls back to
+	// the in-memory direct path.
+	Transport TransportKind
 }
 
 // DefaultConfig returns the configuration used throughout the paper-scale
@@ -179,6 +183,11 @@ func (c Config) withDefaults() (Config, error) {
 	if c.LocateCacheTTL == 0 {
 		c.LocateCacheTTL = c.PointerTTL
 	}
+	tk, err := resolveTransportKind(c.Transport)
+	if err != nil {
+		return c, err
+	}
+	c.Transport = tk
 	return c, nil
 }
 
@@ -288,6 +297,11 @@ type Mesh struct {
 	// nnScratchPool recycles the §4.2 search engine's candidate arenas
 	// (nearest.go) across repairs, joins and refreshes mesh-wide.
 	nnScratchPool sync.Pool
+
+	// tr delivers every node-to-node message (transport.go); framePool
+	// recycles the per-operation wire-message bundles the walk drivers fill.
+	tr        Transport
+	framePool sync.Pool
 }
 
 // getNNScratch hands out a clean search arena; putNNScratch recycles it.
@@ -318,8 +332,21 @@ func NewMesh(net *netsim.Network, cfg Config) (*Mesh, error) {
 	for i := range m.byID {
 		m.byID[i].m = make(map[ids.ID]*Node)
 	}
+	tr, err := newTransport(m, cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	m.tr = tr
 	return m, nil
 }
+
+// Transport returns the mesh's message transport.
+func (m *Mesh) Transport() Transport { return m.tr }
+
+// Close releases transport resources (the TCP backend's listener and
+// connection pool). The mesh itself remains usable only with the in-memory
+// backends; Close is idempotent.
+func (m *Mesh) Close() error { return m.tr.Close() }
 
 // Config returns the mesh configuration.
 func (m *Mesh) Config() Config { return m.cfg }
@@ -458,26 +485,30 @@ func (m *Mesh) Size() int {
 }
 
 // errDead distinguishes "destination's host is up but the overlay node is
-// gone" — treated exactly like an unreachable host by callers.
+// gone" — treated exactly like an unreachable host by callers. It reaches
+// them wrapped in a *PeerError (transport.go), the one failure shape every
+// backend produces.
 var errDead = errors.New("core: node no longer participates")
 
 // rpc charges a request/response pair from caller to the entry's address and
 // resolves the live target node. A stale entry (address re-used by a
-// different ID, departed node, dead host) yields an error after charging the
-// probe, matching the paper's model where failures are detected by timeout.
+// different ID, departed node, dead host) yields a *PeerError after charging
+// the probe, matching the paper's model where failures are detected by
+// timeout. This is the charging half of the direct and loopback transports;
+// message delivery is layered on top by Transport.Invoke.
 func (m *Mesh) rpc(from netsim.Addr, to route.Entry, cost *netsim.Cost, hop bool) (*Node, error) {
 	if err := m.net.Send(from, to.Addr, cost, hop); err != nil {
-		return nil, err
+		return nil, &PeerError{To: to, Err: err}
 	}
 	target := m.NodeAt(to.Addr)
 	if target == nil || !target.id.Equal(to.ID) {
-		return nil, fmt.Errorf("%w: %v@%d", errDead, to.ID, to.Addr)
+		return nil, &PeerError{To: to, Err: errDead}
 	}
 	target.mu.Lock()
 	dead := target.state == stateDead
 	target.mu.Unlock()
 	if dead {
-		return nil, fmt.Errorf("%w: %v@%d", errDead, to.ID, to.Addr)
+		return nil, &PeerError{To: to, Err: errDead}
 	}
 	// Response leg.
 	_ = m.net.Send(to.Addr, from, cost, false)
@@ -488,11 +519,11 @@ func (m *Mesh) rpc(from netsim.Addr, to route.Entry, cost *netsim.Cost, hop bool
 // used for notifications that are fire-and-forget in the paper.
 func (m *Mesh) oneWay(from netsim.Addr, to route.Entry, cost *netsim.Cost) (*Node, error) {
 	if err := m.net.Send(from, to.Addr, cost, false); err != nil {
-		return nil, err
+		return nil, &PeerError{To: to, Err: err}
 	}
 	target := m.NodeAt(to.Addr)
 	if target == nil || !target.id.Equal(to.ID) {
-		return nil, fmt.Errorf("%w: %v@%d", errDead, to.ID, to.Addr)
+		return nil, &PeerError{To: to, Err: errDead}
 	}
 	return target, nil
 }
@@ -531,27 +562,20 @@ func (n *Node) addNeighborAndNotify(level int, e route.Entry, cost *netsim.Cost)
 }
 
 func (n *Node) sendBackpointerAdd(level int, e route.Entry, cost *netsim.Cost) {
-	target, err := n.mesh.oneWay(n.addr, e, cost)
-	if err != nil {
-		return // dead neighbor; the sweep will clean it up
-	}
-	target.mu.Lock()
-	target.table.AddBack(level, route.Entry{
-		ID:       n.id,
-		Addr:     n.addr,
-		Distance: e.Distance,
-	})
-	target.mu.Unlock()
+	f := n.mesh.getFrames()
+	f.backAdd.Level = level
+	f.backAdd.From = route.Entry{ID: n.id, Addr: n.addr, Distance: e.Distance}
+	// A dead neighbor is ignored; the sweep will clean it up.
+	_, _ = n.mesh.oneWayMsg(n.addr, e, &f.backAdd, cost)
+	n.mesh.putFrames(f)
 }
 
 func (n *Node) sendBackpointerRemove(level int, e route.Entry, cost *netsim.Cost) {
-	target, err := n.mesh.oneWay(n.addr, e, cost)
-	if err != nil {
-		return
-	}
-	target.mu.Lock()
-	target.table.RemoveBack(level, n.id)
-	target.mu.Unlock()
+	f := n.mesh.getFrames()
+	f.backRemove.Level = level
+	f.backRemove.ID = n.id
+	_, _ = n.mesh.oneWayMsg(n.addr, e, &f.backRemove, cost)
+	n.mesh.putFrames(f)
 }
 
 // snapshotTable returns a deep copy of the node's forward links as entries

@@ -7,6 +7,7 @@ import (
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
 	"tapestry/internal/stats"
+	"tapestry/internal/wire"
 )
 
 // pointerRec is one object pointer: the mapping from a GUID to one storage
@@ -124,7 +125,7 @@ func (n *Node) republishObject(guid ids.ID, cost *netsim.Cost) error {
 func (n *Node) publishPath(guid, key ids.ID, cost *netsim.Cost) error {
 	now := n.mesh.net.Epoch()
 	prevID, prevAddr := ids.ID{}, n.addr
-	res, err := n.routeToKey(key, cost, func(cur *Node, level int) bool {
+	res, err := n.routeToKey(key, cost, wire.RouteOpPublish, func(cur *Node, level int) bool {
 		rec := pointerRec{
 			guid:       guid,
 			server:     n.id,
@@ -167,9 +168,12 @@ func (n *Node) publishPath(guid, key ids.ID, cost *netsim.Cost) error {
 // path diverged, whose own record (and everything upstream of it) is still
 // valid (Figure 9's DeletePointersBackward with its changedNode argument).
 func (n *Node) deleteBackward(guid, key, server ids.ID, hopID ids.ID, hopAddr netsim.Addr, stopAt ids.ID, cost *netsim.Cost) {
+	f := n.mesh.getFrames()
+	defer n.mesh.putFrames(f)
+	f.del.GUID, f.del.Key, f.del.Server, f.del.StopAt = guid, key, server, stopAt
 	from := n.addr
 	for !hopID.IsZero() && !hopID.Equal(stopAt) && !hopID.Equal(server) {
-		target, err := n.mesh.oneWay(from, entryAt(hopID, hopAddr), cost)
+		target, err := n.mesh.oneWayMsg(from, entryAt(hopID, hopAddr), &f.del, cost)
 		if err != nil {
 			return
 		}
@@ -234,7 +238,7 @@ func (n *Node) Unpublish(guid ids.ID, cost *netsim.Cost) {
 	spec := n.mesh.cfg.Spec
 	for i := 0; i < n.mesh.cfg.RootSetSize; i++ {
 		key := spec.Salt(guid, i)
-		_, _ = n.routeToKey(key, nil, func(cur *Node, level int) bool {
+		_, _ = n.routeToKey(key, nil, wire.RouteOpUnpublish, func(cur *Node, level int) bool {
 			cur.mu.Lock()
 			if st := cur.objects[guid]; st != nil {
 				st.remove(n.id, key)
@@ -321,6 +325,9 @@ func idIn(list []ids.ID, id ids.ID) bool {
 
 func (n *Node) locateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult {
 	key := n.mesh.cfg.Spec.Salt(guid, salt)
+	f := n.mesh.getFrames()
+	defer n.mesh.putFrames(f)
+	f.locate.GUID, f.locate.Key = guid, key
 	cur := n
 	level := 0
 	hops := 0
@@ -377,7 +384,8 @@ func (n *Node) locateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult 
 					// query bounces it to its pre-insertion surrogate, which
 					// routes as if the new node did not exist.
 					exclude = cur.id
-					next, err := n.mesh.rpc(cur.addr, psur, cost, true)
+					f.locate.Level, f.locate.Hops = level, hops
+					next, err := n.mesh.invoke(cur.addr, psur, &f.locate, msgAck, cost, true)
 					if err != nil {
 						return LocateResult{}
 					}
@@ -393,7 +401,8 @@ func (n *Node) locateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult 
 				}
 				return LocateResult{} // true root reached without a pointer
 			}
-			next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
+			f.locate.Level, f.locate.Hops = dec.nextLevel, hops
+			next, err := n.mesh.invoke(cur.addr, dec.next, &f.locate, msgAck, cost, true)
 			if err != nil {
 				if deadSet == nil {
 					deadSet = make(map[ids.ID]struct{}, 2)
@@ -430,14 +439,13 @@ func cachePathDeposit(path []*Node, guid ids.ID, res LocateResult) {
 // consistency rule of the serving layer: no pointer record and no cached
 // hint is ever served without this check succeeding.
 func (cur *Node) verifyReplica(guid, server ids.ID, addr netsim.Addr, cost *netsim.Cost) bool {
-	target, err := cur.mesh.rpc(cur.addr, entryAt(server, addr), cost, true)
-	if err != nil {
+	f := cur.mesh.getFrames()
+	defer cur.mesh.putFrames(f)
+	f.verify.GUID = guid
+	if _, err := cur.mesh.invoke(cur.addr, entryAt(server, addr), &f.verify, &f.verifyResp, cost, true); err != nil {
 		return false
 	}
-	target.mu.Lock()
-	serves := target.published[guid]
-	target.mu.Unlock()
-	return serves
+	return f.verifyResp.Serves
 }
 
 // serveQuery checks cur's pointer store for the object; on a hit the query
@@ -637,6 +645,10 @@ func (n *Node) OptimizeObjectPtrs(cost *netsim.Cost) {
 // did not exist), depositing/refreshing records and triggering backward
 // deletion where the new path converges with a stale one.
 func (n *Node) forwardPointerPath(guid ids.ID, rec pointerRec, now int64, cost *netsim.Cost, exclude ids.ID) {
+	f := n.mesh.getFrames()
+	defer n.mesh.putFrames(f)
+	f.fwd.GUID, f.fwd.Key = guid, rec.key
+	f.fwd.Server, f.fwd.ServerAddr = rec.server, rec.serverAddr
 	prevID, prevAddr := n.id, n.addr
 	cur := n
 	level := rec.level
@@ -658,7 +670,9 @@ func (n *Node) forwardPointerPath(guid ids.ID, rec pointerRec, now int64, cost *
 			cur.mu.Unlock()
 			return
 		}
-		next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
+		f.fwd.Level = dec.nextLevel
+		f.fwd.PrevID, f.fwd.PrevAddr = prevID, prevAddr
+		next, err := n.mesh.invoke(cur.addr, dec.next, &f.fwd, msgAck, cost, true)
 		if err != nil {
 			cur.noteDead(dec.next, cost)
 			continue

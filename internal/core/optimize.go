@@ -41,7 +41,7 @@ func (n *Node) ReorderNeighborSets(cost *netsim.Cost) int {
 			if _, probed := alive[e.ID]; probed {
 				continue
 			}
-			_, err := n.mesh.rpc(n.addr, e, cost, false)
+			_, err := n.mesh.invoke(n.addr, e, msgPing, msgAck, cost, false)
 			alive[e.ID] = err == nil
 		}
 	}
@@ -85,7 +85,7 @@ func (n *Node) ReacquireTable(cost *netsim.Cost) error {
 	if dec.terminal {
 		return nil // alone in the network (or knows nobody else)
 	}
-	sur, err := n.mesh.rpc(n.addr, dec.next, cost, true)
+	sur, err := n.mesh.invoke(n.addr, dec.next, msgReacquire, msgAck, cost, true)
 	if err != nil {
 		n.noteDead(dec.next, cost)
 		return err
@@ -95,7 +95,7 @@ func (n *Node) ReacquireTable(cost *netsim.Cost) error {
 	if err != nil {
 		return err
 	}
-	if err := n.mesh.net.Send(sur.addr, n.addr, cost, false); err != nil {
+	if _, err := n.mesh.oneWayMsg(sur.addr, entryAt(n.id, n.addr), msgAck, cost); err != nil {
 		return err
 	}
 	n.acquireNeighborTable(list, alpha.Len(), cost)
@@ -151,12 +151,16 @@ func (n *Node) RefineTable(cost *netsim.Cost) int {
 }
 
 // ShareTables sends each level's row to this node's neighbors at that level;
+// the receiving half (considerEntries) runs in the ShareReq dispatch handler;
 // each recipient re-measures the offered entries from its own vantage point
 // and adopts improvements. Returns the number of adoptions across all
 // recipients. This is the cheap gossip-style refresh: no multicast, no
 // global search, locality spreads epidemically.
 func (n *Node) ShareTables(cost *netsim.Cost) int {
 	adopted := 0
+	f := n.mesh.getFrames()
+	defer n.mesh.putFrames(f)
+	defer func() { f.share.Entries = nil }()
 	for l := 0; l < n.table.Levels(); l++ {
 		n.mu.Lock()
 		var row []route.Entry
@@ -174,12 +178,12 @@ func (n *Node) ShareTables(cost *netsim.Cost) int {
 				continue
 			}
 			seen[target.ID] = struct{}{}
-			peer, err := n.mesh.rpc(n.addr, target, cost, false)
-			if err != nil {
+			f.share.Entries = row
+			if _, err := n.mesh.invoke(n.addr, target, &f.share, &f.shareResp, cost, false); err != nil {
 				n.noteDead(target, cost)
 				continue
 			}
-			adopted += peer.considerEntries(row, cost)
+			adopted += f.shareResp.Adopted
 		}
 	}
 	return adopted

@@ -7,6 +7,7 @@ import (
 	"tapestry/internal/ids"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/wire"
 )
 
 // hopDecision is the outcome of one local routing decision (Section 2.3:
@@ -176,7 +177,13 @@ type routeResult struct {
 // endpoints; visit returns true to stop early (e.g. a locate found a
 // pointer). It retries through secondary neighbors when a primary's host
 // turns out dead (Observation 1 fault tolerance) and repairs the stale link.
-func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, level int) bool) (routeResult, error) {
+// Each hop travels as a wire.RouteStep tagged with op (route, publish or
+// unpublish).
+func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, op wire.RouteOp, visit func(cur *Node, level int) bool) (routeResult, error) {
+	f := n.mesh.getFrames()
+	defer n.mesh.putFrames(f)
+	f.route.Key = key
+	f.route.Op = op
 	cur := n
 	level := 0
 	hops := 0
@@ -215,7 +222,8 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 				}
 				bounced[cur.id] = struct{}{}
 				deadSet[cur.id] = struct{}{}
-				next, err := n.mesh.rpc(cur.addr, psur, cost, true)
+				f.route.Level = level
+				next, err := n.mesh.invoke(cur.addr, psur, &f.route, msgAck, cost, true)
 				if err != nil {
 					// The pre-insertion surrogate died (join racing churn):
 					// degrade to terminating here rather than failing every
@@ -239,7 +247,8 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 			}
 			return routeResult{node: cur, hops: hops, level: cur.table.Levels()}, nil
 		}
-		next, err := n.mesh.rpc(cur.addr, dec.next, cost, true)
+		f.route.Level = dec.nextLevel
+		next, err := n.mesh.invoke(cur.addr, dec.next, &f.route, msgAck, cost, true)
 		if err != nil {
 			// Failed hop: remember the corpse for this operation, repair the
 			// table, and re-decide from the same node.
@@ -264,7 +273,7 @@ func (n *Node) routeToKey(key ids.ID, cost *netsim.Cost, visit func(cur *Node, l
 // ID, returning the destination and the hop count. It fails if no such node
 // exists (the walk terminates at a surrogate with a different ID).
 func (n *Node) RouteToNode(target ids.ID, cost *netsim.Cost) (*Node, int, error) {
-	res, err := n.routeToKey(target, cost, nil)
+	res, err := n.routeToKey(target, cost, wire.RouteOpRoute, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -278,7 +287,7 @@ func (n *Node) RouteToNode(target ids.ID, cost *netsim.Cost) (*Node, int, error)
 // publish or query for the key would terminate at (Theorem 2: unique given
 // Property 1).
 func (n *Node) SurrogateFor(key ids.ID, cost *netsim.Cost) (*Node, int, error) {
-	res, err := n.routeToKey(key, cost, nil)
+	res, err := n.routeToKey(key, cost, wire.RouteOpRoute, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -385,23 +394,21 @@ func (n *Node) repairHoleScan(level int, digit ids.Digit, dead ids.ID, cost *net
 	}
 	n.mu.Unlock()
 
+	f := n.mesh.getFrames()
+	defer n.mesh.putFrames(f)
+	f.match.Origin = n.id
+	f.match.Level = level
+	f.match.Digit = digit
 	seen := map[ids.ID]struct{}{dead: {}, n.id: {}}
 	for _, inf := range informants {
 		if _, dup := seen[inf.ID]; dup {
 			continue
 		}
 		seen[inf.ID] = struct{}{}
-		target, err := n.mesh.rpc(n.addr, inf, cost, false)
-		if err != nil {
+		if _, err := n.mesh.invoke(n.addr, inf, &f.match, &f.matchResp, cost, false); err != nil {
 			continue
 		}
-		target.mu.Lock()
-		var cands []route.Entry
-		if ids.CommonPrefixLen(target.id, n.id) >= level {
-			cands = append(cands, target.table.Set(level, digit)...)
-		}
-		target.mu.Unlock()
-		for _, c := range cands {
+		for _, c := range f.matchResp.Entries {
 			if c.ID.Equal(dead) || c.ID.Equal(n.id) || !c.ID.HasPrefix(prefix) {
 				continue
 			}
@@ -432,7 +439,7 @@ func (n *Node) SweepDead(cost *netsim.Cost) int {
 				continue
 			}
 			seen[e.ID] = struct{}{}
-			if _, err := n.mesh.rpc(n.addr, e, cost, false); err != nil {
+			if _, err := n.mesh.invoke(n.addr, e, msgPing, msgAck, cost, false); err != nil {
 				removed += n.noteDead(e, cost)
 			}
 		}

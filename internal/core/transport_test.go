@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/metric"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// buildMeshTransport is buildMesh with an explicit transport backend.
+func buildMeshTransport(t testing.TB, n int, seed int64, k TransportKind) (*Mesh, []*Node) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Transport = k
+	rng := rand.New(rand.NewSource(seed))
+	space := metric.NewRing(n * 4)
+	net := netsim.New(space)
+	m, err := NewMesh(net, cfg)
+	if err != nil {
+		t.Fatalf("NewMesh(%v): %v", k, err)
+	}
+	t.Cleanup(func() { m.Close() })
+	perm := rng.Perm(space.Size())
+	addrs := make([]netsim.Addr, n)
+	for i := range addrs {
+		addrs[i] = netsim.Addr(perm[i])
+	}
+	nodes, _, err := m.GrowSequential(addrs, rng)
+	if err != nil {
+		t.Fatalf("GrowSequential(%v): %v", k, err)
+	}
+	return m, nodes
+}
+
+var allTransports = []TransportKind{TransportDirect, TransportLoopback, TransportTCP}
+
+// TestDeadPeerErrorUniform pins the unified failure semantics of satellite
+// transports: on every backend, probing a crashed node and probing a stale
+// entry (live address, different ID) both yield a *PeerError, and the
+// underlying causes agree — unreachable host vs. departed overlay node. The
+// twin meshes are built from the same seed, so the scenario is identical on
+// each backend.
+func TestDeadPeerErrorUniform(t *testing.T) {
+	for _, k := range allTransports {
+		m, nodes := buildMeshTransport(t, 16, 7, k)
+
+		victim, observer := nodes[3], nodes[5]
+		ve := victim.entryFor(observer.addr)
+		m.Fail(victim)
+
+		cost := &netsim.Cost{}
+		_, err := m.invoke(observer.addr, ve, msgPing, msgAck, cost, false)
+		if err == nil {
+			t.Fatalf("%v: probe of failed node succeeded", k)
+		}
+		var pe *PeerError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%v: probe error %T is not *PeerError: %v", k, err, err)
+		}
+		if !pe.To.ID.Equal(ve.ID) {
+			t.Errorf("%v: PeerError.To = %v, want %v", k, pe.To.ID, ve.ID)
+		}
+		if k != TransportTCP && !errors.Is(err, netsim.ErrUnreachable) {
+			// TCP reports the same failure via the simulated-network charge
+			// too, so this holds there as well — but keep the assertion on
+			// the deterministic backends where the cause is fully specified.
+			t.Errorf("%v: cause %v, want netsim.ErrUnreachable", k, pe.Err)
+		}
+
+		// A stale entry: the address is alive but hosts a different ID.
+		stale := route.Entry{ID: ids.FromDigits([]ids.Digit{1, 2, 3, 4, 5, 6}),
+			Addr: nodes[8].addr}
+		_, err = m.invoke(observer.addr, stale, msgPing, msgAck, cost, false)
+		if err == nil {
+			t.Fatalf("%v: probe of stale entry succeeded", k)
+		}
+		if !errors.As(err, &pe) {
+			t.Fatalf("%v: stale-entry error %T is not *PeerError", k, err)
+		}
+		if !errors.Is(err, errDead) {
+			t.Errorf("%v: stale-entry cause %v, want errDead", k, pe.Err)
+		}
+
+		// One-way sends agree with invokes.
+		_, err = m.oneWayMsg(observer.addr, ve, msgPing, cost)
+		if !errors.As(err, &pe) {
+			t.Fatalf("%v: one-way error %T is not *PeerError", k, err)
+		}
+	}
+}
+
+// TestDirectLoopbackTwinIdentical builds the same mesh on the direct and
+// loopback backends and requires identical message totals and identical
+// publish/locate outcomes — the codec round-trip may not change behavior or
+// simulated cost anywhere.
+func TestDirectLoopbackTwinIdentical(t *testing.T) {
+	type result struct {
+		msgs    int64
+		hops    []int
+		founds  []bool
+		removed int
+	}
+	run := func(k TransportKind) result {
+		m, nodes := buildMeshTransport(t, 24, 11, k)
+		rng := rand.New(rand.NewSource(99))
+		var guids []ids.ID
+		for i := 0; i < 6; i++ {
+			g := testSpec.Random(rng)
+			srv := nodes[i*3]
+			if err := srv.Publish(g, &netsim.Cost{}); err != nil {
+				t.Fatalf("%v: publish: %v", k, err)
+			}
+			guids = append(guids, g)
+		}
+		var r result
+		for _, g := range guids {
+			for _, qi := range []int{1, 7, 20} {
+				cost := &netsim.Cost{}
+				res := nodes[qi].Locate(g, cost)
+				r.founds = append(r.founds, res.Found)
+				r.hops = append(r.hops, res.Hops)
+			}
+		}
+		// A leave and a sweep keep the maintenance paths in the comparison.
+		if err := nodes[2].Leave(&netsim.Cost{}); err != nil {
+			t.Fatalf("%v: leave: %v", k, err)
+		}
+		m.Fail(nodes[4])
+		r.removed = m.SweepDeadAll(&netsim.Cost{})
+		r.msgs = m.net.TotalMessages()
+		return r
+	}
+
+	direct := run(TransportDirect)
+	loop := run(TransportLoopback)
+	if direct.msgs != loop.msgs {
+		t.Errorf("message totals diverge: direct %d, loopback %d", direct.msgs, loop.msgs)
+	}
+	if direct.removed != loop.removed {
+		t.Errorf("sweep removals diverge: direct %d, loopback %d", direct.removed, loop.removed)
+	}
+	for i := range direct.founds {
+		if direct.founds[i] != loop.founds[i] || direct.hops[i] != loop.hops[i] {
+			t.Errorf("locate %d diverges: direct (%v,%d) loopback (%v,%d)",
+				i, direct.founds[i], direct.hops[i], loop.founds[i], loop.hops[i])
+		}
+	}
+}
+
+// TestTCPRejectsEventEngine pins the construction-time incompatibility: real
+// sockets cannot park on virtual time.
+func TestTCPRejectsEventEngine(t *testing.T) {
+	space := metric.NewRing(16)
+	net := netsim.New(space)
+	net.AttachEngine(netsim.NewEngine(1))
+	cfg := testConfig()
+	cfg.Transport = TransportTCP
+	if _, err := NewMesh(net, cfg); err == nil {
+		t.Fatal("NewMesh accepted TCP transport with an event engine attached")
+	}
+}
+
+// TestParseTransport covers the flag/environment surface.
+func TestParseTransport(t *testing.T) {
+	for s, want := range map[string]TransportKind{
+		"":         TransportAuto,
+		"auto":     TransportAuto,
+		"direct":   TransportDirect,
+		"loopback": TransportLoopback,
+		"tcp":      TransportTCP,
+	} {
+		got, err := ParseTransport(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTransport(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseTransport("carrier-pigeon"); err == nil {
+		t.Error("ParseTransport accepted an unknown backend")
+	}
+}

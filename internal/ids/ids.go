@@ -81,6 +81,15 @@ func (s Spec) Make(digits []Digit) ID {
 	return ID{digits: string(digits)}
 }
 
+// FromDigits builds an ID directly from raw digit values without binding to
+// a Spec. It is the trusted-decoder constructor used by the wire codec, which
+// enforces digit bounds itself before calling; digits are copied.
+func FromDigits(digits []Digit) ID { return ID{digits: string(digits)} }
+
+// PrefixFromDigits builds a Prefix directly from raw digit values (the wire
+// codec's counterpart of FromDigits); digits are copied.
+func PrefixFromDigits(digits []Digit) Prefix { return Prefix{digits: string(digits)} }
+
 // Random draws an identifier uniformly at random from the namespace using
 // the supplied source.
 func (s Spec) Random(rng *rand.Rand) ID {

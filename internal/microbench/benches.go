@@ -10,6 +10,7 @@ import (
 	"tapestry/internal/metric"
 	"tapestry/internal/netsim"
 	"tapestry/internal/route"
+	"tapestry/internal/wire"
 )
 
 // The micro set pins the hot paths the perf PRs optimized: the end-to-end
@@ -59,6 +60,9 @@ func Benches() []Benchmark {
 		{Name: "NextHop", Setup: setupNextHop},
 		{Name: "SweepDeadEpoch", Setup: setupSweepDeadEpoch},
 		{Name: "RepublishAllEpoch", Setup: setupRepublishAllEpoch},
+		{Name: "WireEncode", Setup: setupWireEncode},
+		{Name: "WireDecode", Setup: setupWireDecode},
+		{Name: "LoopbackLocate", Setup: setupLoopbackLocate},
 	}
 }
 
@@ -182,5 +186,89 @@ func setupRepublishAllEpoch() func(b *B) {
 		}
 		b.ReportMetric(float64(cost.Messages())/float64(b.N), "msgs/epoch")
 		b.ReportMetric(float64(records), "records")
+	}
+}
+
+// benchWireMsgs is a realistic message mix for the codec benches: the walk
+// steps every hop sends, a populated table-band response (the largest routine
+// payload), and the small notification messages.
+func benchWireMsgs() []wire.Msg {
+	rng := rand.New(rand.NewSource(77))
+	entries := make([]route.Entry, 16)
+	for i := range entries {
+		entries[i] = route.Entry{
+			ID:       benchSpec.Random(rng),
+			Addr:     netsim.Addr(rng.Intn(1024)),
+			Distance: rng.Float64() * 500,
+		}
+	}
+	return []wire.Msg{
+		&wire.RouteStep{Key: benchSpec.Random(rng), Level: 3, Op: wire.RouteOpRoute},
+		&wire.LocateStep{GUID: benchSpec.Random(rng), Key: benchSpec.Random(rng), Level: 2, Hops: 4},
+		&wire.TableBandReq{Floor: 1, Fold: -1},
+		&wire.TableBandResp{Entries: entries},
+		&wire.BackAdd{Level: 2, From: entries[0]},
+		&wire.McastStep{P: benchSpec.Random(rng).Prefix(2), Root: benchSpec.Random(rng).Prefix(1),
+			NewNode: entries[1], HoleLevel: 1},
+	}
+}
+
+// WireEncode: steady-state framing of the routine message mix into a reused
+// buffer — the per-hop encode cost of the loopback and TCP transports.
+func setupWireEncode() func(b *B) {
+	msgs := benchWireMsgs()
+	return func(b *B) {
+		var buf []byte
+		total := 0
+		for i := 0; i < b.N; i++ {
+			buf = wire.AppendFrame(buf[:0], msgs[i%len(msgs)])
+			total += len(buf)
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "bytes/op")
+	}
+}
+
+// WireDecode: the zero-allocation DecodeFrameInto path over pre-encoded
+// frames with recycled message structs — the per-hop decode cost.
+func setupWireDecode() func(b *B) {
+	msgs := benchWireMsgs()
+	frames := make([][]byte, len(msgs))
+	recycled := make([]wire.Msg, len(msgs))
+	for i, m := range msgs {
+		frames[i] = wire.AppendFrame(nil, m)
+		recycled[i] = wire.New(m.WireType())
+	}
+	return func(b *B) {
+		for i := 0; i < b.N; i++ {
+			j := i % len(frames)
+			if _, err := wire.DecodeFrameInto(frames[j], recycled[j]); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// LoopbackLocate: the core end-to-end locate with every message round-tripped
+// through the codec — OpLocate's counterpart measuring the full serialization
+// tax on a settled 64-node mesh.
+func setupLoopbackLocate() func(b *B) {
+	cfg := benchCoreConfig()
+	cfg.Transport = core.TransportLoopback
+	_, nodes := buildCoreMesh(64, cfg, 68)
+	g := benchSpec.Hash("loopback-object")
+	if err := nodes[0].Publish(g, nil); err != nil {
+		panic(err)
+	}
+	return func(b *B) {
+		hops := 0
+		for i := 0; i < b.N; i++ {
+			var cost netsim.Cost
+			res := nodes[i%len(nodes)].Locate(g, &cost)
+			if !res.Found {
+				panic("lost object")
+			}
+			hops += res.Hops
+		}
+		b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
 	}
 }

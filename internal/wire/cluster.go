@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// The cluster protocol (types 40+) is what cmd/tapestry-node daemons speak to
+// each other and to the examples/cluster harness: the harness computes the
+// static overlay centrally, installs each node's routing table and endpoint
+// map, then drives publish/locate traffic that the daemons forward among
+// themselves over TCP using ordinary prefix routing.
+
+// Endpoint maps a simulated overlay address to a real host:port.
+type Endpoint struct {
+	Addr     netsim.Addr
+	HostPort string
+}
+
+// ClusterInstall provisions one daemon: its identity, identifier-space shape,
+// flattened routing table, and the address book for every process in the
+// cluster.
+type ClusterInstall struct {
+	Base      int
+	Digits    int
+	R         int
+	Self      route.Entry
+	Rows      []LeveledEntry
+	Endpoints []Endpoint
+}
+
+func (*ClusterInstall) WireType() Type { return TClusterInstall }
+func (m *ClusterInstall) EncodeTo(e *Enc) {
+	e.Int(m.Base)
+	e.Int(m.Digits)
+	e.Int(m.R)
+	e.Entry(m.Self)
+	e.Uvarint(uint64(len(m.Rows)))
+	for _, r := range m.Rows {
+		e.Int(r.Level)
+		e.Entry(r.E)
+	}
+	e.Uvarint(uint64(len(m.Endpoints)))
+	for _, ep := range m.Endpoints {
+		e.Addr(ep.Addr)
+		e.String(ep.HostPort)
+	}
+}
+func (m *ClusterInstall) DecodeFrom(d *Dec) {
+	m.Base = d.Int()
+	m.Digits = d.Int()
+	m.R = d.Int()
+	m.Self = d.Entry()
+	n := d.Uvarint()
+	if d.err == nil && n > uint64(d.Len()) {
+		d.fail("row count %d exceeds remaining %d bytes", n, d.Len())
+	}
+	m.Rows = m.Rows[:0]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Rows = append(m.Rows, LeveledEntry{Level: d.Int(), E: d.Entry()})
+	}
+	n = d.Uvarint()
+	if d.err == nil && n > uint64(d.Len()) {
+		d.fail("endpoint count %d exceeds remaining %d bytes", n, d.Len())
+	}
+	m.Endpoints = m.Endpoints[:0]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Endpoints = append(m.Endpoints, Endpoint{Addr: d.Addr(), HostPort: d.String()})
+	}
+}
+
+// ClusterAck acknowledges a cluster control message.
+type ClusterAck struct{}
+
+func (*ClusterAck) WireType() Type  { return TClusterAck }
+func (*ClusterAck) EncodeTo(*Enc)   {}
+func (*ClusterAck) DecodeFrom(*Dec) {}
+
+// ClusterServe tells a daemon it is the storage server for these GUIDs.
+type ClusterServe struct {
+	GUIDs []ids.ID
+}
+
+func (*ClusterServe) WireType() Type { return TClusterServe }
+func (m *ClusterServe) EncodeTo(e *Enc) {
+	e.Uvarint(uint64(len(m.GUIDs)))
+	for _, g := range m.GUIDs {
+		e.ID(g)
+	}
+}
+func (m *ClusterServe) DecodeFrom(d *Dec) {
+	n := d.Uvarint()
+	if d.err == nil && n > uint64(d.Len()) {
+		d.fail("guid count %d exceeds remaining %d bytes", n, d.Len())
+	}
+	m.GUIDs = m.GUIDs[:0]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.GUIDs = append(m.GUIDs, d.ID())
+	}
+}
+
+// ClusterPublish is one hop of a publish walk through the daemon overlay:
+// deposit a pointer for GUID served at (Server, ServerAddr) and forward
+// toward Key's root. The harness sends it with Level 0 to the server's own
+// daemon, which then forwards hop by hop.
+type ClusterPublish struct {
+	GUID       ids.ID
+	Key        ids.ID
+	Server     ids.ID
+	ServerAddr netsim.Addr
+	Level      int
+}
+
+func (*ClusterPublish) WireType() Type { return TClusterPublish }
+func (m *ClusterPublish) EncodeTo(e *Enc) {
+	e.ID(m.GUID)
+	e.ID(m.Key)
+	e.ID(m.Server)
+	e.Addr(m.ServerAddr)
+	e.Int(m.Level)
+}
+func (m *ClusterPublish) DecodeFrom(d *Dec) {
+	m.GUID = d.ID()
+	m.Key = d.ID()
+	m.Server = d.ID()
+	m.ServerAddr = d.Addr()
+	m.Level = d.Int()
+}
+
+// ClusterPubDone acknowledges a publish walk, naming the root that
+// terminated it.
+type ClusterPubDone struct {
+	Root ids.ID
+}
+
+func (*ClusterPubDone) WireType() Type    { return TClusterPubDone }
+func (m *ClusterPubDone) EncodeTo(e *Enc) { e.ID(m.Root) }
+func (m *ClusterPubDone) DecodeFrom(d *Dec) {
+	m.Root = d.ID()
+}
+
+// ClusterLocate is one hop of a locate walk: find a pointer for GUID while
+// routing toward Key's root.
+type ClusterLocate struct {
+	GUID  ids.ID
+	Key   ids.ID
+	Level int
+	Hops  int
+}
+
+func (*ClusterLocate) WireType() Type { return TClusterLocate }
+func (m *ClusterLocate) EncodeTo(e *Enc) {
+	e.ID(m.GUID)
+	e.ID(m.Key)
+	e.Int(m.Level)
+	e.Int(m.Hops)
+}
+func (m *ClusterLocate) DecodeFrom(d *Dec) {
+	m.GUID = d.ID()
+	m.Key = d.ID()
+	m.Level = d.Int()
+	m.Hops = d.Int()
+}
+
+// ClusterFound answers a locate walk.
+type ClusterFound struct {
+	Found      bool
+	Server     ids.ID
+	ServerAddr netsim.Addr
+	Hops       int
+}
+
+func (*ClusterFound) WireType() Type { return TClusterFound }
+func (m *ClusterFound) EncodeTo(e *Enc) {
+	e.Bool(m.Found)
+	e.ID(m.Server)
+	e.Addr(m.ServerAddr)
+	e.Int(m.Hops)
+}
+func (m *ClusterFound) DecodeFrom(d *Dec) {
+	m.Found = d.Bool()
+	m.Server = d.ID()
+	m.ServerAddr = d.Addr()
+	m.Hops = d.Int()
+}

@@ -1,0 +1,420 @@
+// Package wire defines the Tapestry node-to-node message catalog and its
+// binary encoding. Every RPC the core mesh performs — routing-walk hops,
+// publish/locate traffic, acknowledged-multicast steps, join snapshots,
+// backpointer notifications, maintenance probes and republish caravans — has
+// an explicit request (and, where the protocol answers, response) struct
+// here, so the same overlay logic can run over shared memory, a codec
+// loopback, or real sockets.
+//
+// Encoding rules (little-endian throughout):
+//
+//   - unsigned integers: LEB128 uvarint
+//   - signed integers (levels, hops, addresses): zigzag varint
+//   - float64 (distances): 8-byte IEEE 754 bits
+//   - ids.ID / ids.Prefix: u8 digit count followed by one byte per digit
+//   - route.Entry: ID, zigzag addr, float64 distance, u8 flag bits
+//     (bit 0 pinned, bit 1 leaving)
+//   - lists: uvarint count, then the elements back to back
+//
+// A framed message is [u32 LE payload length][u8 type][payload]. Type IDs are
+// pinned forever (see testdata/wire.golden); new messages append, old ones
+// are never renumbered.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tapestry/internal/ids"
+	"tapestry/internal/netsim"
+	"tapestry/internal/route"
+)
+
+// Type identifies a message on the wire. Values are part of the format.
+type Type byte
+
+// Msg is one wire message. EncodeTo must write exactly what DecodeFrom reads;
+// DecodeFrom overwrites every field (reusing slice capacity where it can), so
+// a recycled struct never leaks state between messages.
+type Msg interface {
+	WireType() Type
+	EncodeTo(*Enc)
+	DecodeFrom(*Dec)
+}
+
+// maxDigits bounds ID/prefix digit counts on decode (ids.Spec caps Digits at
+// 64); maxFrame bounds a framed message read from an untrusted stream.
+const (
+	maxDigits = 64
+	maxFrame  = 1 << 26
+)
+
+// Enc is an append-only encoder. The zero value is ready to use; Reset keeps
+// the buffer's capacity so steady-state encoding does not allocate.
+type Enc struct {
+	b []byte
+}
+
+// Reset empties the buffer, keeping capacity.
+func (e *Enc) Reset() { e.b = e.b[:0] }
+
+// Bytes returns the encoded payload (valid until the next Reset).
+func (e *Enc) Bytes() []byte { return e.b }
+
+// U8 appends one raw byte.
+func (e *Enc) U8(v byte) { e.b = append(e.b, v) }
+
+// Uvarint appends an unsigned LEB128 varint.
+func (e *Enc) Uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+// Int appends a signed zigzag varint.
+func (e *Enc) Int(v int) { e.b = binary.AppendVarint(e.b, int64(v)) }
+
+// Bool appends a 0/1 byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends the 8 IEEE 754 bytes of v, little-endian.
+func (e *Enc) F64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+// String appends a length-prefixed byte string.
+func (e *Enc) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// ID appends an identifier: digit count, then raw digit bytes.
+func (e *Enc) ID(id ids.ID) {
+	e.U8(byte(id.Len()))
+	for i := 0; i < id.Len(); i++ {
+		e.U8(id.Digit(i))
+	}
+}
+
+// Prefix appends a prefix with the same shape as ID.
+func (e *Enc) Prefix(p ids.Prefix) {
+	e.U8(byte(p.Len()))
+	for i := 0; i < p.Len(); i++ {
+		e.U8(p.Digit(i))
+	}
+}
+
+// Addr appends a network address as a zigzag varint (addresses are small
+// non-negative integers in the simulator, but -1 sentinels must survive).
+func (e *Enc) Addr(a netsim.Addr) { e.Int(int(a)) }
+
+// Entry appends one routing-table entry.
+func (e *Enc) Entry(en route.Entry) {
+	e.ID(en.ID)
+	e.Addr(en.Addr)
+	e.F64(en.Distance)
+	var flags byte
+	if en.Pinned {
+		flags |= 1
+	}
+	if en.Leaving {
+		flags |= 2
+	}
+	e.U8(flags)
+}
+
+// Entries appends a length-prefixed entry list.
+func (e *Enc) Entries(list []route.Entry) {
+	e.Uvarint(uint64(len(list)))
+	for _, en := range list {
+		e.Entry(en)
+	}
+}
+
+// Dec consumes an encoded payload. The first malformed read latches an error
+// and turns every later read into a zero-value no-op, so message DecodeFrom
+// methods can decode unconditionally and check Err once.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over b (which is not copied).
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Reset re-points the decoder at b and clears any latched error.
+func (d *Dec) Reset(b []byte) { d.b, d.off, d.err = b, 0, nil }
+
+// Err returns the first decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Len returns the number of unconsumed bytes.
+func (d *Dec) Len() int { return len(d.b) - d.off }
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// U8 reads one raw byte.
+func (d *Dec) U8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte at offset %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// Uvarint reads an unsigned LEB128 varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a signed zigzag varint.
+func (d *Dec) Int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+// Bool reads a 0/1 byte (any nonzero byte decodes as true).
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// F64 reads 8 IEEE 754 bytes.
+func (d *Dec) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("truncated float64 at offset %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// String reads a length-prefixed byte string.
+func (d *Dec) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.Len()) {
+		d.fail("string length %d exceeds remaining %d bytes", n, d.Len())
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// digits reads a count-prefixed digit run shared by ID and Prefix.
+func (d *Dec) digits() []ids.Digit {
+	n := int(d.U8())
+	if d.err != nil {
+		return nil
+	}
+	if n > maxDigits {
+		d.fail("digit count %d exceeds %d", n, maxDigits)
+		return nil
+	}
+	if n > d.Len() {
+		d.fail("truncated digits: want %d, have %d", n, d.Len())
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	for i, dg := range out {
+		if dg >= maxDigits {
+			d.fail("digit %d at position %d exceeds max base %d", dg, i, maxDigits)
+			return nil
+		}
+	}
+	return out
+}
+
+// ID reads an identifier.
+func (d *Dec) ID() ids.ID {
+	dg := d.digits()
+	if d.err != nil {
+		return ids.ID{}
+	}
+	return ids.FromDigits(dg)
+}
+
+// Prefix reads a prefix.
+func (d *Dec) Prefix() ids.Prefix {
+	dg := d.digits()
+	if d.err != nil {
+		return ids.Prefix{}
+	}
+	return ids.PrefixFromDigits(dg)
+}
+
+// Addr reads a network address.
+func (d *Dec) Addr() netsim.Addr { return netsim.Addr(d.Int()) }
+
+// Entry reads one routing-table entry.
+func (d *Dec) Entry() route.Entry {
+	var en route.Entry
+	en.ID = d.ID()
+	en.Addr = d.Addr()
+	en.Distance = d.F64()
+	flags := d.U8()
+	en.Pinned = flags&1 != 0
+	en.Leaving = flags&2 != 0
+	return en
+}
+
+// Entries reads a length-prefixed entry list into dst's capacity.
+func (d *Dec) Entries(dst []route.Entry) []route.Entry {
+	n := d.Uvarint()
+	if d.err != nil {
+		return dst[:0]
+	}
+	// Each entry is at least 11 bytes; a cheap bound that defuses hostile
+	// counts before allocation.
+	if n > uint64(d.Len()) {
+		d.fail("entry count %d exceeds remaining %d bytes", n, d.Len())
+		return dst[:0]
+	}
+	dst = dst[:0]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		dst = append(dst, d.Entry())
+	}
+	return dst
+}
+
+// AppendFrame appends m to dst as one framed message.
+func AppendFrame(dst []byte, m Msg) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+	dst = append(dst, byte(m.WireType()))
+	e := Enc{b: dst}
+	m.EncodeTo(&e)
+	dst = e.b
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// DecodeFrame parses one framed message from the front of b, allocating the
+// struct via New. It returns the message and the total bytes consumed.
+func DecodeFrame(b []byte) (Msg, int, error) {
+	if len(b) < 5 {
+		return nil, 0, fmt.Errorf("wire: frame header truncated (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n < 1 || n > maxFrame {
+		return nil, 0, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	if uint64(len(b)-4) < uint64(n) {
+		return nil, 0, fmt.Errorf("wire: frame truncated: want %d bytes, have %d", n, len(b)-4)
+	}
+	m := New(Type(b[4]))
+	if m == nil {
+		return nil, 0, fmt.Errorf("wire: unknown message type %d", b[4])
+	}
+	d := Dec{b: b[5 : 4+n]}
+	m.DecodeFrom(&d)
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if d.Len() != 0 {
+		return nil, 0, fmt.Errorf("wire: %d trailing bytes after %T", d.Len(), m)
+	}
+	return m, 4 + int(n), nil
+}
+
+// DecodeFrameInto parses one framed message from the front of b into m,
+// failing if the frame's type differs from m's. It returns the bytes
+// consumed. This is the zero-allocation path transports use with recycled
+// message structs.
+func DecodeFrameInto(b []byte, m Msg) (int, error) {
+	if len(b) < 5 {
+		return 0, fmt.Errorf("wire: frame header truncated (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n < 1 || n > maxFrame {
+		return 0, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	if uint64(len(b)-4) < uint64(n) {
+		return 0, fmt.Errorf("wire: frame truncated: want %d bytes, have %d", n, len(b)-4)
+	}
+	if Type(b[4]) != m.WireType() {
+		return 0, fmt.Errorf("wire: frame type %d, want %d (%T)", b[4], m.WireType(), m)
+	}
+	d := Dec{b: b[5 : 4+n]}
+	m.DecodeFrom(&d)
+	if d.err != nil {
+		return 0, d.err
+	}
+	if d.Len() != 0 {
+		return 0, fmt.Errorf("wire: %d trailing bytes after %T", d.Len(), m)
+	}
+	return 4 + int(n), nil
+}
+
+// WriteMsg frames m onto w using buf as scratch, returning the (possibly
+// grown) buffer for reuse.
+func WriteMsg(w io.Writer, buf []byte, m Msg) ([]byte, error) {
+	buf = AppendFrame(buf[:0], m)
+	_, err := w.Write(buf)
+	return buf, err
+}
+
+// ReadFrame reads one complete framed message from r into buf (grown as
+// needed), returning the frame bytes [len][type][payload] for DecodeFrame or
+// DecodeFrameInto.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n < 1 || n > maxFrame {
+		return buf, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	total := 4 + int(n)
+	if cap(buf) < total {
+		nb := make([]byte, total)
+		copy(nb, hdr)
+		buf = nb
+	} else {
+		buf = buf[:total]
+	}
+	if _, err := io.ReadFull(r, buf[4:total]); err != nil {
+		return buf, err
+	}
+	return buf[:total], nil
+}

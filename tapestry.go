@@ -121,6 +121,36 @@ func (p Protocol) String() string {
 // Network, or Multicast on anything but Tapestry.
 var ErrUnsupported = overlay.ErrUnsupported
 
+// Transport selects the node-to-node message backend of a Tapestry-backed
+// Network (see the README "Wire format & transports" section). Non-Tapestry
+// protocols ignore it.
+type Transport int
+
+const (
+	// TransportAuto consults the TAPESTRY_TRANSPORT environment variable
+	// (direct | loopback | tcp) and falls back to TransportDirect.
+	TransportAuto Transport = Transport(core.TransportAuto)
+	// TransportDirect delivers messages as in-process calls — the default,
+	// byte-identical to builds without the transport seam.
+	TransportDirect Transport = Transport(core.TransportDirect)
+	// TransportLoopback round-trips every message through the wire codec
+	// before the peer sees it, with identical simulated-cost accounting.
+	TransportLoopback Transport = Transport(core.TransportLoopback)
+	// TransportTCP additionally carries every message over a real localhost
+	// socket. Incompatible with Config.EventDriven.
+	TransportTCP Transport = Transport(core.TransportTCP)
+)
+
+// String returns the flag spelling of the transport.
+func (t Transport) String() string { return core.TransportKind(t).String() }
+
+// ParseTransport maps a flag/environment spelling ("direct", "loopback",
+// "tcp", or ""/"auto") onto a Transport.
+func ParseTransport(s string) (Transport, error) {
+	k, err := core.ParseTransport(s)
+	return Transport(k), err
+}
+
 // Cost is the expense ledger of one operation: messages, application-level
 // hops, and total metric distance.
 type Cost struct {
@@ -170,6 +200,11 @@ type Config struct {
 	// BuildWorkers shards the static bulk construction (0 = one worker per
 	// CPU). The built overlay is byte-identical for every value.
 	BuildWorkers int
+	// Transport selects the message backend of a Tapestry-backed network:
+	// in-process direct calls (the default), a wire-codec loopback, or real
+	// TCP sockets. TCP is incompatible with EventDriven. Call Network.Close
+	// when done with a TCP-backed network.
+	Transport Transport
 	// EventDriven selects the discrete-event virtual-time execution backend:
 	// operations scheduled with Network.Schedule run under a deterministic
 	// event loop in which every message takes its metric distance in virtual
@@ -198,6 +233,7 @@ func (c Config) toCore() core.Config {
 	cc.LocateCacheTTL = int64(c.LocateCacheTTL)
 	cc.Seed = c.Seed
 	cc.BuildWorkers = c.BuildWorkers
+	cc.Transport = core.TransportKind(c.Transport)
 	return cc
 }
 
@@ -263,6 +299,16 @@ func NewProtocol(space Space, p Protocol, cfg Config) (*Network, error) {
 
 // Protocol reports which overlay system backs this network.
 func (nw *Network) Protocol() Protocol { return nw.kind }
+
+// Close releases resources held by the message transport — the TCP backend's
+// listener and connection pool; the in-process backends hold none, so Close
+// is then a cheap no-op. The Network must not be used afterwards.
+func (nw *Network) Close() error {
+	if nw.mesh != nil {
+		return nw.mesh.Close()
+	}
+	return nil
+}
 
 // Caps renders the backing protocol's capability set as a comma-separated
 // list (e.g. "join,leave,fail,unpublish,maintain,locality,cache"; a protocol
