@@ -40,6 +40,8 @@ func main() {
 	hotspotQueries := flag.Int("hotspot-queries", 0, "E-hotspot: Zipf queries of the full cell (0 = params default)")
 	planetNodes := flag.Int("planet-nodes", 0, "E-planet: overlay population of the virtual-time run (0 = params default)")
 	planetObjects := flag.Int("planet-objects", 0, "E-planet: published objects (0 = params default)")
+	ninesN := flag.Int("nines-n", 0, "E-nines: overlay population of the availability sweep (0 = params default)")
+	ninesQueries := flag.Int("nines-queries", 0, "E-nines: Zipf queries per epoch (0 = params default)")
 	protocol := flag.String("protocol", "", "E-faceoff: comma-separated overlay protocols to face off (empty = all registered)")
 	benchJSON := flag.Bool("bench-json", false, "run the hot-path micro-benchmark set and emit BENCH_micro.json to stdout")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: gate against this baseline BENCH_micro.json, exit 1 on regression")
@@ -87,6 +89,12 @@ func main() {
 	}
 	if *planetObjects > 0 {
 		params.PlanetObjects = *planetObjects
+	}
+	if *ninesN > 0 {
+		params.NinesN = *ninesN
+	}
+	if *ninesQueries > 0 {
+		params.NinesQueries = *ninesQueries
 	}
 	// The sampled static build parallelises under the same worker budget as
 	// the cell pool; its output is byte-identical for every value.

@@ -6,7 +6,10 @@
 //
 // The daemon prints exactly one line, "LISTEN <host:port>", once the
 // listener is up, so a parent process can scrape the bound address (the
-// default binds an ephemeral port).
+// default binds an ephemeral port). When -listen names a fixed port that is
+// already taken, the daemon walks forward over a small range of consecutive
+// ports before giving up — fleets booted from a base port survive stray
+// occupants of individual ports, and the banner reports whichever port won.
 package main
 
 import (
@@ -14,14 +17,39 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 
 	"tapestry/internal/procnode"
 )
 
+// listenRetry binds addr; for a fixed (non-zero) port it tries up to
+// retries+1 consecutive ports starting at the requested one.
+func listenRetry(addr string, retries int) (net.Listener, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("listen address %q: %v", addr, err)
+	}
+	if port == 0 || retries < 0 {
+		retries = 0
+	}
+	var ln net.Listener
+	for p := port; p <= port+retries; p++ {
+		if ln, err = net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(p))); err == nil {
+			return ln, nil
+		}
+	}
+	return nil, err
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
+	retries := flag.Int("listen-retries", 16, "extra consecutive ports to try when a fixed -listen port is busy")
 	flag.Parse()
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := listenRetry(*listen, *retries)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapestry-node:", err)
 		os.Exit(1)

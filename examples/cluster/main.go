@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -70,13 +71,25 @@ func main() {
 	objects := flag.Int("objects", 50, "objects to publish (round-robin servers)")
 	queries := flag.Int("queries", 200, "random (client, object) locate queries")
 	seed := flag.Int64("seed", 1, "RNG seed for the overlay build and workload")
+	basePort := flag.Int("base-port", 0,
+		"bind daemon i to 127.0.0.1:<base-port+i> instead of an ephemeral port "+
+			"(0 = ephemeral; also settable via $TAPESTRY_CLUSTER_BASE_PORT)")
 	flag.Parse()
-	if err := run(*n, *objects, *queries, *seed); err != nil {
+	if *basePort == 0 {
+		if env := os.Getenv("TAPESTRY_CLUSTER_BASE_PORT"); env != "" {
+			p, err := strconv.Atoi(env)
+			if err != nil {
+				log.Fatalf("TAPESTRY_CLUSTER_BASE_PORT=%q: %v", env, err)
+			}
+			*basePort = p
+		}
+	}
+	if err := run(*n, *objects, *queries, *seed, *basePort); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(n, objects, queries int, seed int64) error {
+func run(n, objects, queries int, seed int64, basePort int) error {
 	// 1. Build the daemon binary once; spawning 100+ `go run` children would
 	// pay the toolchain startup per process.
 	tmp, err := os.MkdirTemp("", "tapestry-cluster")
@@ -128,7 +141,14 @@ func run(n, objects, queries int, seed int64) error {
 		}
 	}()
 	for i := range daemons {
-		proc := exec.Command(bin)
+		var args []string
+		if basePort > 0 {
+			// Fixed ports, one per daemon. The daemon retries a few ports
+			// forward if its slot is taken, and the banner below reports the
+			// port that actually won, so a stray occupant costs nothing.
+			args = append(args, "-listen", fmt.Sprintf("127.0.0.1:%d", basePort+i))
+		}
+		proc := exec.Command(bin, args...)
 		proc.Stderr = os.Stderr
 		stdout, err := proc.StdoutPipe()
 		if err != nil {

@@ -77,7 +77,7 @@ func (n *Node) republishBatched(guids []ids.ID, cost *netsim.Cost) {
 	recs := make([]wire.PubRec, 0, len(guids)*n.mesh.cfg.RootSetSize)
 	for _, g := range guids {
 		for i := 0; i < n.mesh.cfg.RootSetSize; i++ {
-			recs = append(recs, wire.PubRec{GUID: g, Key: spec.Salt(g, i), PrevAddr: n.addr})
+			recs = append(recs, wire.PubRec{GUID: g, Key: spec.Salt(g, i), PrevAddr: n.addr, Salt: i})
 		}
 	}
 

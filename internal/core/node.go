@@ -98,6 +98,15 @@ type Config struct {
 	// RootSetSize is |R_ψ|, the number of salted roots per object
 	// (Observation 2). Default 1.
 	RootSetSize int
+	// Replicas is the object replication factor k: PublishReplicated places
+	// the object on the publishing node plus the k-1 closest live peers
+	// found by the §4.2 nearest-neighbor engine. Default 1 (no extra
+	// copies); plain Publish ignores it.
+	Replicas int
+	// LocateProbes bounds how many salted roots one Locate tries before
+	// giving up — the cheap sequential-fallback policy. Zero (the default)
+	// probes the full root set; values above RootSetSize are clamped to it.
+	LocateProbes int
 	// Surrogate selects the localized routing variant.
 	Surrogate Scheme
 	// Repair selects the hole-repair strategy after neighbor failures; the
@@ -137,6 +146,7 @@ func DefaultConfig() Config {
 		R:           3,
 		K:           0,
 		RootSetSize: 1,
+		Replicas:    1,
 		Surrogate:   SchemeNative,
 		PointerTTL:  3,
 		Seed:        1,
@@ -161,6 +171,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.RootSetSize < 1 {
 		return c, errors.New("core: RootSetSize must be >= 1")
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas < 1 {
+		return c, errors.New("core: Replicas must be >= 1")
+	}
+	if c.LocateProbes < 0 {
+		return c, errors.New("core: LocateProbes must be >= 0 (0 probes every root)")
+	}
+	if c.LocateProbes == 0 || c.LocateProbes > c.RootSetSize {
+		c.LocateProbes = c.RootSetSize
 	}
 	if c.PointerTTL == 0 {
 		c.PointerTTL = 3

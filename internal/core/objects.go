@@ -273,10 +273,17 @@ type LocateResult struct {
 // Locate routes a query for the object from n toward a root, stopping at the
 // first node holding a pointer and then proceeding to the closest replica
 // (Section 2.2, Figure 3). With multiple roots the starting root is chosen
-// pseudo-randomly and the rest are tried on failure (Observation 1). The
-// choice is drawn from a per-node SplitMix64 stream (seeded from Config.Seed
-// and the node ID) advanced by an atomic counter, so concurrent queries
-// never serialize on a shared RNG lock and serial runs replay exactly.
+// pseudo-randomly and the rest are tried on failure (Observation 1) — a
+// sequential fallback over at most Config.LocateProbes roots. The choice is
+// drawn from a per-node SplitMix64 stream (seeded from Config.Seed and the
+// node ID) advanced by an atomic counter, so concurrent queries never
+// serialize on a shared RNG lock and serial runs replay exactly.
+//
+// A multi-root locate that succeeds after one or more roots returned a clean
+// miss (the pointer chain toward that root decayed, e.g. its root crashed
+// since the last republish) triggers read-repair: the serving replica is
+// asked to republish toward exactly the missed roots, so the next query that
+// draws them hits again.
 func (n *Node) Locate(guid ids.ID, cost *netsim.Cost) LocateResult {
 	k := n.mesh.cfg.RootSetSize
 	start := 0
@@ -284,7 +291,9 @@ func (n *Node) Locate(guid ids.ID, cost *netsim.Cost) LocateResult {
 		start = int(stats.SplitMix64(n.rootSalt+n.locateSeq.Add(1)) % uint64(k))
 	}
 	var out LocateResult
-	for t := 0; t < k; t++ {
+	var missedBuf [8]int
+	missed := missedBuf[:0]
+	for t := 0; t < n.mesh.cfg.LocateProbes; t++ {
 		salt := (start + t) % k
 		res := n.locateVia(guid, salt, cost)
 		if res.Found {
@@ -292,6 +301,12 @@ func (n *Node) Locate(guid ids.ID, cost *netsim.Cost) LocateResult {
 			break
 		}
 		out.Exhausted = out.Exhausted || res.Exhausted
+		if k > 1 && !res.Exhausted {
+			missed = append(missed, salt)
+		}
+	}
+	if out.Found && len(missed) > 0 {
+		n.readRepair(guid, out, missed, cost)
 	}
 	if n.cache != nil {
 		if out.Found && out.FromCache {
@@ -327,7 +342,7 @@ func (n *Node) locateVia(guid ids.ID, salt int, cost *netsim.Cost) LocateResult 
 	key := n.mesh.cfg.Spec.Salt(guid, salt)
 	f := n.mesh.getFrames()
 	defer n.mesh.putFrames(f)
-	f.locate.GUID, f.locate.Key = guid, key
+	f.locate.GUID, f.locate.Key, f.locate.Salt = guid, key, salt
 	cur := n
 	level := 0
 	hops := 0

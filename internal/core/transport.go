@@ -176,6 +176,7 @@ type msgFrames struct {
 	drop       wire.DropLinks
 	local      wire.LocalStep
 	fwd        wire.PtrForward
+	pub        wire.PublishReq
 }
 
 func (m *Mesh) getFrames() *msgFrames {
@@ -257,6 +258,8 @@ func (target *Node) dispatch(req, resp wire.Msg, cost *netsim.Cost) {
 		target.mu.Lock()
 		resp.(*wire.VerifyResp).Serves = target.published[q.GUID]
 		target.mu.Unlock()
+	case *wire.PublishReq:
+		target.handlePublishReq(q, cost)
 	case *wire.JoinSnapshotReq:
 		target.joinSnapshot(q, resp.(*wire.JoinSnapshotResp), cost)
 	case *wire.BackAdd:

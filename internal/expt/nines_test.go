@@ -1,0 +1,64 @@
+package expt
+
+import "testing"
+
+// TestNinesReplicationBuysNines pins the PR's headline acceptance claim: under
+// an identically seeded crash schedule, the full availability tier (r=4
+// salted roots, k=3 replicas) yields strictly more nines of query success
+// than the unreplicated baseline (r=1, k=1).
+func TestNinesReplicationBuysNines(t *testing.T) {
+	const n, objects, epochs, queries = 96, 32, 2, 256
+	var tbl Table
+	rows := runNinesCell(13, &tbl, n, objects, epochs, queries)
+
+	byConfig := map[string]ninesRow{}
+	for _, r := range rows {
+		byConfig[r.config] = r
+	}
+	lo, ok := byConfig["tapestry r=1 k=1"]
+	if !ok {
+		t.Fatalf("baseline config missing from rows: %v", rows)
+	}
+	hi, ok := byConfig["tapestry r=4 k=3"]
+	if !ok {
+		t.Fatalf("replicated config missing from rows: %v", rows)
+	}
+	if lo.crashes == 0 {
+		t.Fatalf("no crashes applied — the scenario exercises nothing")
+	}
+	if hi.crashes != lo.crashes {
+		t.Fatalf("configs saw different churn: %d vs %d crashes (shared-scenario contract broken)",
+			hi.crashes, lo.crashes)
+	}
+	if lo.total != epochs*queries || hi.total != epochs*queries {
+		t.Fatalf("query counts %d/%d, want %d", lo.total, hi.total, epochs*queries)
+	}
+	if hi.nines <= lo.nines {
+		t.Fatalf("r=4,k=3 yields %.3f nines vs %.3f at r=1,k=1 — replication bought nothing:\n%s",
+			hi.nines, lo.nines, tbl.String())
+	}
+}
+
+// TestNinesTwinReplay pins E-nines determinism: two same-seed runs are
+// byte-identical (the workers knob never reaches inside the single cell, so
+// this plus the runner's cell-order merge is the -workers invariance).
+func TestNinesTwinReplay(t *testing.T) {
+	run := func() string { return ninesDef(96, 32, 2, 128).Run(11, 1).String() }
+	if a, b := run(), run(); a != b {
+		t.Fatalf("E-nines twin runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestNinesOf pins the nines arithmetic, including the flawless-run
+// resolution cap.
+func TestNinesOf(t *testing.T) {
+	if got := ninesOf(900, 1000); got < 0.99 || got > 1.01 {
+		t.Errorf("ninesOf(900,1000) = %v, want ~1", got)
+	}
+	if got := ninesOf(1000, 1000); got != 3 {
+		t.Errorf("ninesOf(1000,1000) = %v, want 3 (log10 cap)", got)
+	}
+	if got := ninesOf(0, 0); got != 0 {
+		t.Errorf("ninesOf(0,0) = %v, want 0", got)
+	}
+}

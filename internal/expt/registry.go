@@ -55,6 +55,15 @@ type Params struct {
 	PlanetEpochs       int
 	PlanetQueries      int
 	PlanetBuildWorkers int
+
+	// E-nines (availability under crash churn) knobs: overlay population,
+	// published objects, churn epochs, and Zipf queries per epoch. Queries
+	// bound the nines resolution: a flawless configuration reports
+	// log10(epochs*queries) nines.
+	NinesN       int
+	NinesObjects int
+	NinesEpochs  int
+	NinesQueries int
 }
 
 // DefaultParams reproduces the paper-comparable scale.
@@ -90,6 +99,11 @@ func DefaultParams() Params {
 		PlanetObjects: 1000000,
 		PlanetEpochs:  4,
 		PlanetQueries: 2048,
+
+		NinesN:       256,
+		NinesObjects: 64,
+		NinesEpochs:  4,
+		NinesQueries: 1024,
 	}
 }
 
@@ -126,6 +140,11 @@ func QuickParams() Params {
 		PlanetObjects: 20000,
 		PlanetEpochs:  2,
 		PlanetQueries: 256,
+
+		NinesN:       96,
+		NinesObjects: 32,
+		NinesEpochs:  2,
+		NinesQueries: 256,
 	}
 }
 
@@ -176,6 +195,9 @@ var registry = []Experiment{
 	{"E-planet", "Planet", func(p Params) Def {
 		return planetDef(p.PlanetNodes, p.PlanetObjects, p.PlanetEpochs,
 			p.PlanetQueries, p.PlanetBuildWorkers)
+	}},
+	{"E-nines", "Nines", func(p Params) Def {
+		return ninesDef(p.NinesN, p.NinesObjects, p.NinesEpochs, p.NinesQueries)
 	}},
 	{"A1", "AblationSurrogate", func(p Params) Def { return ablationSurrogateDef(p.StretchN) }},
 	{"A2", "AblationR", func(p Params) Def { return ablationRDef(p.StretchN, []int{2, 3, 4}) }},

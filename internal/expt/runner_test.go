@@ -39,6 +39,11 @@ func smallParams() Params {
 		PlanetObjects: 400,
 		PlanetEpochs:  2,
 		PlanetQueries: 32,
+
+		NinesN:       48,
+		NinesObjects: 12,
+		NinesEpochs:  2,
+		NinesQueries: 64,
 	}
 }
 

@@ -123,14 +123,51 @@ func (s Spec) Hash(name string) ID {
 // pseudo-random function maps the document GUID ψ into identifiers
 // ψ_0, ψ_1, ..., and root i is the surrogate of ψ_i. Salt(id, 0) == id so a
 // single-root configuration is the unsalted GUID.
+//
+// The derivation runs SplitMix64 over the digit string: the salt index seeds
+// the state, each digit folds in through the finalizer, and successive draws
+// emit the salted digits. Allocation-free beyond the result and cheap enough
+// to call on every locate probe.
 func (s Spec) Salt(id ID, i int) ID {
 	if i == 0 {
 		return id
 	}
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], uint64(i))
-	sum := sha256.Sum256(append([]byte(id.digits), buf[:]...))
-	return s.fromHash(sum)
+	h := uint64(i) * 0x9e3779b97f4a7c15
+	for j := 0; j < len(id.digits); j++ {
+		h = splitmix64(h + uint64(id.digits[j]) + 1)
+	}
+	d := make([]Digit, s.Digits)
+	for j := range d {
+		h = splitmix64(h)
+		// Direct modulo: the bias for bases up to 64 over a 64-bit draw is
+		// below 2^-58, far under anything a simulation can observe.
+		d[j] = Digit(h % uint64(s.Base))
+	}
+	return ID{digits: string(d)}
+}
+
+// Salted returns the full root set [ψ_0, ..., ψ_{r-1}] for a GUID: the r
+// independent identifiers whose surrogates serve as the object's roots under
+// an r-root availability configuration. Salted(id, 1) is just {id}.
+func (s Spec) Salted(id ID, r int) []ID {
+	if r < 1 {
+		panic(fmt.Sprintf("ids: Salted with root count %d", r))
+	}
+	out := make([]ID, r)
+	for i := range out {
+		out[i] = s.Salt(id, i)
+	}
+	return out
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), the same mixer the
+// stats package uses for seed streams; duplicated privately so ids stays a
+// leaf package.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 func (s Spec) fromHash(sum [32]byte) ID {

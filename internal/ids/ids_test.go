@@ -149,6 +149,32 @@ func TestSaltProperties(t *testing.T) {
 	}
 }
 
+func TestSalted(t *testing.T) {
+	s := DefaultSpec
+	rng := rand.New(rand.NewSource(11))
+	id := s.Random(rng)
+	roots := s.Salted(id, 4)
+	if len(roots) != 4 {
+		t.Fatalf("Salted(id, 4) returned %d roots", len(roots))
+	}
+	if !roots[0].Equal(id) {
+		t.Error("root 0 must be the unsalted GUID")
+	}
+	for i, r := range roots {
+		if !r.Equal(s.Salt(id, i)) {
+			t.Errorf("root %d disagrees with Salt(id, %d)", i, i)
+		}
+		for j := 0; j < r.Len(); j++ {
+			if int(r.Digit(j)) >= s.Base {
+				t.Fatalf("salted digit out of range: %d >= %d", r.Digit(j), s.Base)
+			}
+		}
+	}
+	if len(s.Salted(id, 1)) != 1 {
+		t.Error("Salted(id, 1) must be the singleton root set")
+	}
+}
+
 func TestCommonPrefixLen(t *testing.T) {
 	s := Spec{Base: 16, Digits: 4}
 	cases := []struct {

@@ -56,6 +56,7 @@ func benchCoreConfig() core.Config {
 func Benches() []Benchmark {
 	return []Benchmark{
 		{Name: "OpLocate", Setup: setupOpLocate},
+		{Name: "OpLocateMultiRoot", Setup: setupOpLocateMultiRoot},
 		{Name: "NearestForSlot", Setup: setupNearestForSlot},
 		{Name: "NextHop", Setup: setupNextHop},
 		{Name: "SweepDeadEpoch", Setup: setupSweepDeadEpoch},
@@ -71,6 +72,39 @@ func Benches() []Benchmark {
 // BenchmarkOpLocate).
 func setupOpLocate() func(b *B) {
 	nw, err := tapestry.New(tapestry.RingSpace(256*4), tapestry.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	nodes, err := nw.Grow(256)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := nodes[0].Publish("bench-object"); err != nil {
+		panic(err)
+	}
+	return func(b *B) {
+		hops := 0
+		for i := 0; i < b.N; i++ {
+			res, _ := nodes[i%len(nodes)].Locate("bench-object")
+			if !res.Found {
+				panic("lost object")
+			}
+			hops += res.Hops
+		}
+		b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+	}
+}
+
+// OpLocateMultiRoot: the same end-to-end locate with the availability tier
+// turned up (r=4 salted roots, k=3 replicas) — the per-query overhead of the
+// pseudo-random root draw plus the occasional extra probe, which must stay a
+// small constant over OpLocate on a healthy mesh (every root path is intact,
+// so almost every query succeeds on its first probe).
+func setupOpLocateMultiRoot() func(b *B) {
+	cfg := tapestry.Defaults()
+	cfg.Roots = 4
+	cfg.Replicas = 3
+	nw, err := tapestry.New(tapestry.RingSpace(256*4), cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -291,7 +291,7 @@ func TestCapsString(t *testing.T) {
 	if got := (CapJoin | CapFail).String(); got != "join,fail" {
 		t.Errorf("join|fail = %q", got)
 	}
-	if got := tapestryCaps.String(); got != "join,leave,fail,unpublish,maintain,locality,cache" {
+	if got := tapestryCaps.String(); got != "join,leave,fail,unpublish,maintain,locality,cache,replication" {
 		t.Errorf("tapestry caps = %q", got)
 	}
 }

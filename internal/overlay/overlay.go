@@ -46,6 +46,9 @@ const (
 	CapLocality
 	// CapCache: locate-path result caching (the hot-object serving layer).
 	CapCache
+	// CapReplication: the availability tier — salted multi-root publication,
+	// k-replica placement and locate-triggered read-repair.
+	CapReplication
 )
 
 // Has reports whether every capability in x is present.
@@ -61,6 +64,7 @@ func (c Caps) String() string {
 		{CapJoin, "join"}, {CapLeave, "leave"}, {CapFail, "fail"},
 		{CapUnpublish, "unpublish"}, {CapMaintain, "maintain"},
 		{CapLocality, "locality"}, {CapCache, "cache"},
+		{CapReplication, "replication"},
 	}
 	out := ""
 	for _, n := range names {
@@ -130,6 +134,8 @@ type Stats struct {
 	CachedMappings   int     // serving-layer cache entries (CapCache)
 	CacheHits        int64
 	CacheMisses      int64
+	Roots            int // salted roots per object (CapReplication; 0 = no notion)
+	Replicas         int // replica servers per publish (CapReplication; 0 = no notion)
 }
 
 // Protocol is the unified overlay interface. Implementations are built

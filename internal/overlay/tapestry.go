@@ -10,7 +10,7 @@ import (
 )
 
 const tapestryCaps = CapJoin | CapLeave | CapFail | CapUnpublish |
-	CapMaintain | CapLocality | CapCache
+	CapMaintain | CapLocality | CapCache | CapReplication
 
 // tapestry adapts core.Mesh — the paper's own protocol — to the unified
 // interface.
@@ -60,6 +60,14 @@ func newTapestry(net *netsim.Network, cfg Config) (Protocol, error) {
 	mesh, err := core.NewMesh(net, cc)
 	if err != nil {
 		return nil, err
+	}
+	// Normalize the availability knobs the mesh defaulted internally, so
+	// Stats reports the effective values even for a zero-valued cfg.Core.
+	if cc.RootSetSize < 1 {
+		cc.RootSetSize = 1
+	}
+	if cc.Replicas < 1 {
+		cc.Replicas = 1
 	}
 	return &tapestry{
 		net:  net,
@@ -167,6 +175,10 @@ func (t *tapestry) Publish(h Handle, key string) (*netsim.Cost, error) {
 	if !ok {
 		return cost, errors.New("overlay: foreign handle")
 	}
+	if t.cfg.Replicas > 1 {
+		_, err := n.PublishReplicated(t.guid(key), cost)
+		return cost, err
+	}
 	return cost, n.Publish(t.guid(key), cost)
 }
 
@@ -227,5 +239,6 @@ func (t *tapestry) Stats() Stats {
 		s.MeanTableEntries = float64(links) / float64(len(nodes))
 	}
 	s.CacheHits, s.CacheMisses = t.mesh.LocateCacheStats()
+	s.Roots, s.Replicas = t.cfg.RootSetSize, t.cfg.Replicas
 	return s
 }

@@ -36,6 +36,7 @@ const (
 	TDropLinks        Type = 24
 	TLocalStep        Type = 25
 	TPtrForward       Type = 26
+	TPublishReq       Type = 27
 
 	TClusterInstall Type = 40
 	TClusterAck     Type = 41
@@ -101,6 +102,8 @@ func (t Type) String() string {
 		return "LocalStep"
 	case TPtrForward:
 		return "PtrForward"
+	case TPublishReq:
+		return "PublishReq"
 	case TClusterInstall:
 		return "ClusterInstall"
 	case TClusterAck:
@@ -129,7 +132,7 @@ func Types() []Type {
 		TVerifyReq, TVerifyResp, TDeleteBack, TBackAdd, TBackRemove,
 		TMcastStep, TMcastNotify, TJoinSnapshotReq, TJoinSnapshotResp,
 		TReacquireReq, TCaravanStep, TLeaveNotify, TNodeDeleted, TDropLinks,
-		TLocalStep, TPtrForward,
+		TLocalStep, TPtrForward, TPublishReq,
 		TClusterInstall, TClusterAck, TClusterServe, TClusterPublish,
 		TClusterPubDone, TClusterLocate, TClusterFound,
 	}
@@ -190,6 +193,8 @@ func New(t Type) Msg {
 		return &LocalStep{}
 	case TPtrForward:
 		return &PtrForward{}
+	case TPublishReq:
+		return &PublishReq{}
 	case TClusterInstall:
 		return &ClusterInstall{}
 	case TClusterAck:
@@ -241,6 +246,7 @@ type PubRec struct {
 	PrevID   ids.ID
 	PrevAddr netsim.Addr
 	Hops     int
+	Salt     int // index of the salted root Key = Salt(GUID, Salt)
 }
 
 func (e *Enc) pubRec(r PubRec) {
@@ -250,6 +256,7 @@ func (e *Enc) pubRec(r PubRec) {
 	e.ID(r.PrevID)
 	e.Addr(r.PrevAddr)
 	e.Int(r.Hops)
+	e.Int(r.Salt)
 }
 
 func (d *Dec) pubRec() PubRec {
@@ -260,6 +267,7 @@ func (d *Dec) pubRec() PubRec {
 	r.PrevID = d.ID()
 	r.PrevAddr = d.Addr()
 	r.Hops = d.Int()
+	r.Salt = d.Int()
 	return r
 }
 
@@ -385,13 +393,14 @@ func (m *ShareResp) DecodeFrom(d *Dec) {
 }
 
 // LocateStep is one hop of a Locate walk toward GUID's root (Section 2.2):
-// Key is the salted root identifier being routed to, Hops the distance
-// walked so far.
+// Key is the salted root identifier being routed to (Key = Salt(GUID, Salt)),
+// Hops the distance walked so far.
 type LocateStep struct {
 	GUID  ids.ID
 	Key   ids.ID
 	Level int
 	Hops  int
+	Salt  int
 }
 
 func (*LocateStep) WireType() Type { return TLocateStep }
@@ -400,12 +409,14 @@ func (m *LocateStep) EncodeTo(e *Enc) {
 	e.ID(m.Key)
 	e.Int(m.Level)
 	e.Int(m.Hops)
+	e.Int(m.Salt)
 }
 func (m *LocateStep) DecodeFrom(d *Dec) {
 	m.GUID = d.ID()
 	m.Key = d.ID()
 	m.Level = d.Int()
 	m.Hops = d.Int()
+	m.Salt = d.Int()
 }
 
 // VerifyReq asks a storage server whether it still serves a replica of GUID
@@ -719,4 +730,38 @@ func (m *PtrForward) DecodeFrom(d *Dec) {
 	m.Level = d.Int()
 	m.PrevID = d.ID()
 	m.PrevAddr = d.Addr()
+}
+
+// PublishReq asks the receiver to (re-)announce GUID. With Adopt set the
+// receiver first records itself as a replica server for GUID — the k-replica
+// placement handoff — and then publishes along every salted root. Without
+// Adopt it republishes only toward the salted roots listed in Salts, which is
+// how read-repair refills a root whose publish path decayed. The reply is an
+// Ack.
+type PublishReq struct {
+	GUID  ids.ID
+	Adopt bool
+	Salts []int
+}
+
+func (*PublishReq) WireType() Type { return TPublishReq }
+func (m *PublishReq) EncodeTo(e *Enc) {
+	e.ID(m.GUID)
+	e.Bool(m.Adopt)
+	e.Uvarint(uint64(len(m.Salts)))
+	for _, s := range m.Salts {
+		e.Int(s)
+	}
+}
+func (m *PublishReq) DecodeFrom(d *Dec) {
+	m.GUID = d.ID()
+	m.Adopt = d.Bool()
+	n := d.Uvarint()
+	if d.err == nil && n > uint64(d.Len()) {
+		d.fail("salt count %d exceeds remaining %d bytes", n, d.Len())
+	}
+	m.Salts = m.Salts[:0]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Salts = append(m.Salts, d.Int())
+	}
 }

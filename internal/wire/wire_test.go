@@ -44,7 +44,7 @@ func fixtures() []Msg {
 		&TableBandResp{Entries: []route.Entry{ent(4)}},
 		&ShareReq{Entries: []route.Entry{ent(5), ent(6)}},
 		&ShareResp{Adopted: 7},
-		&LocateStep{GUID: id(8, 9), Key: id(10, 11), Level: 4, Hops: 12},
+		&LocateStep{GUID: id(8, 9), Key: id(10, 11), Level: 4, Hops: 12, Salt: 3},
 		&VerifyReq{GUID: id(12, 13, 14)},
 		&VerifyResp{Serves: true},
 		&DeleteBack{GUID: id(1), Key: id(2), Server: id(3), StopAt: id(4)},
@@ -56,7 +56,7 @@ func fixtures() []Msg {
 		&JoinSnapshotResp{Rows: []LeveledEntry{{Level: 0, E: ent(10)}, {Level: 3, E: ent(11)}}},
 		&ReacquireReq{},
 		&CaravanStep{Server: id(6), ServerAddr: 17, Recs: []PubRec{
-			{GUID: id(1, 2), Key: id(3, 4), Level: 1, PrevID: id(5, 6), PrevAddr: 23, Hops: 2},
+			{GUID: id(1, 2), Key: id(3, 4), Level: 1, PrevID: id(5, 6), PrevAddr: 23, Hops: 2, Salt: 1},
 		}},
 		&LeaveNotify{Leaver: id(9, 8, 7), Level: 3, Replacements: []route.Entry{ent(12)}},
 		&NodeDeleted{ID: id(4, 4, 4)},
@@ -64,6 +64,7 @@ func fixtures() []Msg {
 		&LocalStep{Key: id(0, 1, 2), Level: 1, Region: 6},
 		&PtrForward{GUID: id(1), Key: id(2), Server: id(3), ServerAddr: 8, Level: 2,
 			PrevID: id(4), PrevAddr: 9},
+		&PublishReq{GUID: id(3, 1, 4), Adopt: true, Salts: []int{0, 2, 5}},
 		&ClusterInstall{Base: 16, Digits: 6, R: 3, Self: ent(13),
 			Rows:      []LeveledEntry{{Level: 1, E: ent(14)}},
 			Endpoints: []Endpoint{{Addr: 0, HostPort: "127.0.0.1:9000"}, {Addr: 1, HostPort: "127.0.0.1:9001"}}},

@@ -175,6 +175,15 @@ type Config struct {
 	K int
 	// RootSetSize is the number of salted roots per object (fault tolerance).
 	RootSetSize int
+	// Roots is the availability-tier spelling of RootSetSize: when > 0 it
+	// overrides RootSetSize as the per-object salted root count r. The two
+	// names coexist so existing configurations keep working.
+	Roots int
+	// Replicas is the object replication factor k: each Publish places the
+	// object on the publishing node plus the k-1 closest live peers, selected
+	// by the nearest-neighbor engine with locality-aware region spread.
+	// 0 or 1 places a single copy (today's behavior, bit-identical).
+	Replicas int
 	// PRRRouting selects the distributed PRR-like surrogate variant instead
 	// of Tapestry-native next-filled-digit routing.
 	PRRRouting bool
@@ -225,6 +234,10 @@ func (c Config) toCore() core.Config {
 	cc.R = c.R
 	cc.K = c.K
 	cc.RootSetSize = c.RootSetSize
+	if c.Roots > 0 {
+		cc.RootSetSize = c.Roots
+	}
+	cc.Replicas = c.Replicas
 	if c.PRRRouting {
 		cc.Surrogate = core.SchemePRRLike
 	}
@@ -311,9 +324,9 @@ func (nw *Network) Close() error {
 }
 
 // Caps renders the backing protocol's capability set as a comma-separated
-// list (e.g. "join,leave,fail,unpublish,maintain,locality,cache"; a protocol
-// with no dynamic capabilities reports "static"). Programs should prefer
-// attempting an operation and checking errors.Is(err, ErrUnsupported).
+// list (e.g. "join,leave,fail,unpublish,maintain,locality,cache,replication";
+// a protocol with no dynamic capabilities reports "static"). Programs should
+// prefer attempting an operation and checking errors.Is(err, ErrUnsupported).
 func (nw *Network) Caps() string { return nw.proto.Caps().String() }
 
 // Node is one overlay participant.
@@ -702,6 +715,11 @@ type Stats struct {
 	CachedMappings  int   // location mappings currently cached across the overlay
 	LocateCacheHits int64 // queries answered from a cached mapping
 	LocateCacheMiss int64 // queries that went all the way to a pointer (or failed)
+
+	// Availability-tier knobs in effect; zero on protocols without the
+	// replication capability.
+	Roots    int // salted roots per object
+	Replicas int // replica servers per publish
 }
 
 // Stats returns a snapshot of overlay-wide statistics.
@@ -715,17 +733,24 @@ func (nw *Network) Stats() Stats {
 		CachedMappings:  os.CachedMappings,
 		LocateCacheHits: os.CacheHits,
 		LocateCacheMiss: os.CacheMisses,
+		Roots:           os.Roots,
+		Replicas:        os.Replicas,
 	}
 }
 
 // String renders the stats compactly; serving-layer counters appear only
-// once the cache has seen traffic, so cache-off output is unchanged.
+// once the cache has seen traffic, and the availability knobs only when they
+// differ from the single-root, single-copy default — so default output is
+// unchanged.
 func (s Stats) String() string {
 	out := fmt.Sprintf("nodes=%d messages=%d links/node=%.1f pointers=%d",
 		s.Nodes, s.TotalMessages, s.MeanTableLinks, s.TotalPointers)
 	if s.LocateCacheHits+s.LocateCacheMiss > 0 {
 		out += fmt.Sprintf(" cached=%d hit%%=%.1f", s.CachedMappings,
 			100*float64(s.LocateCacheHits)/float64(s.LocateCacheHits+s.LocateCacheMiss))
+	}
+	if s.Roots > 1 || s.Replicas > 1 {
+		out += fmt.Sprintf(" roots=%d replicas=%d", s.Roots, s.Replicas)
 	}
 	return out
 }
