@@ -42,7 +42,9 @@ func main() {
 	planetObjects := flag.Int("planet-objects", 0, "E-planet: published objects (0 = params default)")
 	ninesN := flag.Int("nines-n", 0, "E-nines: overlay population of the availability sweep (0 = params default)")
 	ninesQueries := flag.Int("nines-queries", 0, "E-nines: Zipf queries per epoch (0 = params default)")
-	protocol := flag.String("protocol", "", "E-faceoff: comma-separated overlay protocols to face off (empty = all registered)")
+	chaosN := flag.Int("chaos-n", 0, "E-chaos: overlay population of the scenario suite (0 = params default)")
+	chaosScenario := flag.String("chaos-scenario", "", "E-chaos: comma-separated named scenarios to replay (empty = whole suite)")
+	protocol := flag.String("protocol", "", "E-faceoff/E-chaos: comma-separated overlay protocols (empty = all registered)")
 	benchJSON := flag.Bool("bench-json", false, "run the hot-path micro-benchmark set and emit BENCH_micro.json to stdout")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: gate against this baseline BENCH_micro.json, exit 1 on regression")
 	benchTolerance := flag.Float64("bench-tolerance", 0.25, "with -bench-baseline: allowed ns/op regression fraction (allocs/op tolerates none)")
@@ -96,15 +98,27 @@ func main() {
 	if *ninesQueries > 0 {
 		params.NinesQueries = *ninesQueries
 	}
+	if *chaosN > 0 {
+		params.ChaosN = *chaosN
+	}
+	if *chaosScenario != "" {
+		params.ChaosScenarios = strings.Split(*chaosScenario, ",")
+		if err := expt.ValidateScenarios(params.ChaosScenarios); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(2)
+		}
+	}
 	// The sampled static build parallelises under the same worker budget as
 	// the cell pool; its output is byte-identical for every value.
 	params.PlanetBuildWorkers = *workers
 	if *protocol != "" {
-		params.FaceoffProtocols = strings.Split(*protocol, ",")
-		if err := expt.ValidateProtocols(params.FaceoffProtocols); err != nil {
+		selected := strings.Split(*protocol, ",")
+		if err := expt.ValidateProtocols(selected); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(2)
 		}
+		params.FaceoffProtocols = selected
+		params.ChaosProtocols = selected
 	}
 
 	r := expt.Runner{Seed: *seed, Workers: *workers, Params: params}

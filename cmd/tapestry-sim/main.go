@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	"tapestry"
 	"tapestry/internal/expt"
@@ -46,6 +47,8 @@ func main() {
 	scaleNodes := flag.Int("scale-nodes", 0, "with -run E-scale: initial overlay population (0 = params default)")
 	planetNodes := flag.Int("planet-nodes", 0, "with -run E-planet: overlay population of the virtual-time run (0 = params default)")
 	planetObjects := flag.Int("planet-objects", 0, "with -run E-planet: published objects (0 = params default)")
+	chaosN := flag.Int("chaos-n", 0, "with -run E-chaos: overlay population of the scenario suite (0 = params default)")
+	chaosScenario := flag.String("chaos-scenario", "", "with -run E-chaos: comma-separated named scenarios to replay (empty = whole suite)")
 	transport := flag.String("transport", "", "message transport backend: direct | loopback | tcp (default: $TAPESTRY_TRANSPORT, then direct)")
 	flag.Parse()
 
@@ -59,7 +62,8 @@ func main() {
 
 	if *run != "" {
 		runExperiments(*run, *quick, *seed, *workers, *format,
-			*scalePoints, *scaleNodes, *planetNodes, *planetObjects)
+			*scalePoints, *scaleNodes, *planetNodes, *planetObjects,
+			*chaosN, *chaosScenario)
 		return
 	}
 
@@ -183,7 +187,7 @@ func main() {
 
 // runExperiments reproduces paper tables through the shared registry engine.
 func runExperiments(pattern string, quick bool, seed int64, workers int, format string,
-	scalePoints, scaleNodes, planetNodes, planetObjects int) {
+	scalePoints, scaleNodes, planetNodes, planetObjects, chaosN int, chaosScenario string) {
 	params := expt.DefaultParams()
 	if quick {
 		params = expt.QuickParams()
@@ -199,6 +203,15 @@ func runExperiments(pattern string, quick bool, seed int64, workers int, format 
 	}
 	if planetObjects > 0 {
 		params.PlanetObjects = planetObjects
+	}
+	if chaosN > 0 {
+		params.ChaosN = chaosN
+	}
+	if chaosScenario != "" {
+		params.ChaosScenarios = strings.Split(chaosScenario, ",")
+		if err := expt.ValidateScenarios(params.ChaosScenarios); err != nil {
+			fail(err)
+		}
 	}
 	params.PlanetBuildWorkers = workers
 	r := expt.Runner{Seed: seed, Workers: workers, Params: params}

@@ -64,6 +64,17 @@ type Params struct {
 	NinesObjects int
 	NinesEpochs  int
 	NinesQueries int
+
+	// E-chaos (named adversarial scenarios) knobs: overlay population,
+	// published objects, queries per measurement phase, join-stampede size,
+	// the scenario selection (nil = the whole named suite) and the protocol
+	// selection (nil = every registered overlay protocol).
+	ChaosN         int
+	ChaosObjects   int
+	ChaosQueries   int
+	ChaosStampede  int
+	ChaosScenarios []string
+	ChaosProtocols []string
 }
 
 // DefaultParams reproduces the paper-comparable scale.
@@ -104,6 +115,11 @@ func DefaultParams() Params {
 		NinesObjects: 64,
 		NinesEpochs:  4,
 		NinesQueries: 1024,
+
+		ChaosN:        128,
+		ChaosObjects:  64,
+		ChaosQueries:  512,
+		ChaosStampede: 24,
 	}
 }
 
@@ -145,6 +161,11 @@ func QuickParams() Params {
 		NinesObjects: 32,
 		NinesEpochs:  2,
 		NinesQueries: 256,
+
+		ChaosN:        64,
+		ChaosObjects:  32,
+		ChaosQueries:  192,
+		ChaosStampede: 12,
 	}
 }
 
@@ -198,6 +219,10 @@ var registry = []Experiment{
 	}},
 	{"E-nines", "Nines", func(p Params) Def {
 		return ninesDef(p.NinesN, p.NinesObjects, p.NinesEpochs, p.NinesQueries)
+	}},
+	{"E-chaos", "Chaos", func(p Params) Def {
+		return chaosDef(p.ChaosN, p.ChaosObjects, p.ChaosQueries, p.ChaosStampede,
+			p.ChaosScenarios, p.ChaosProtocols)
 	}},
 	{"A1", "AblationSurrogate", func(p Params) Def { return ablationSurrogateDef(p.StretchN) }},
 	{"A2", "AblationR", func(p Params) Def { return ablationRDef(p.StretchN, []int{2, 3, 4}) }},

@@ -44,6 +44,14 @@ func smallParams() Params {
 		NinesObjects: 12,
 		NinesEpochs:  2,
 		NinesQueries: 64,
+
+		ChaosN:        48,
+		ChaosObjects:  12,
+		ChaosQueries:  64,
+		ChaosStampede: 6,
+		// One scenario keeps the suite's slowest experiment fast here; the
+		// chaos tests cover the full named set.
+		ChaosScenarios: []string{"blackout"},
 	}
 }
 

@@ -161,6 +161,44 @@ func Regions(s Space) []int {
 	return nil
 }
 
+// RegionLabels returns the sorted distinct region labels of a space,
+// excluding the -1 transit marker — the enumeration a correlated-failure
+// scenario picks its blackout domains from. Nil when the space has no region
+// structure.
+func RegionLabels(s Space) []int {
+	labels := Regions(s)
+	if labels == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, l := range labels {
+		if l >= 0 && !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RegionPoints returns, in ascending order, every point of the space labelled
+// with region r. Nil when the space has no region structure or no point
+// carries the label.
+func RegionPoints(s Space, r int) []int {
+	labels := Regions(s)
+	if labels == nil {
+		return nil
+	}
+	var out []int
+	for p, l := range labels {
+		if l == r {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func (g *Dense) Distance(i, j int) float64 { return float64(g.d[i*g.n+j]) }
 
 func (g *Dense) set(i, j int, v float64) {

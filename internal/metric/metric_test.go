@@ -3,6 +3,7 @@ package metric
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -242,5 +243,49 @@ func TestCountLE(t *testing.T) {
 		if got := countLE(sorted, c.r); got != c.want {
 			t.Errorf("countLE(%g) = %d, want %d", c.r, got, c.want)
 		}
+	}
+}
+
+func TestRegionLabelsAndPoints(t *testing.T) {
+	p := DefaultTransitStub()
+	ts := NewTransitStub(p, rand.New(rand.NewSource(3)))
+	labels := RegionLabels(ts)
+	wantStubs := p.TransitDomains * p.TransitPerDom * p.StubsPerTransit
+	if len(labels) != wantStubs {
+		t.Fatalf("%d distinct labels, want %d", len(labels), wantStubs)
+	}
+	if !sort.IntsAreSorted(labels) {
+		t.Fatal("labels not sorted")
+	}
+	for _, l := range labels {
+		if l < 0 {
+			t.Fatalf("transit marker %d leaked into RegionLabels", l)
+		}
+	}
+	raw := Regions(ts)
+	total := 0
+	for _, l := range labels {
+		pts := RegionPoints(ts, l)
+		if len(pts) != p.StubSize {
+			t.Fatalf("region %d has %d points, want %d", l, len(pts), p.StubSize)
+		}
+		if !sort.IntsAreSorted(pts) {
+			t.Fatalf("region %d points not sorted", l)
+		}
+		for _, pt := range pts {
+			if raw[pt] != l {
+				t.Fatalf("point %d labelled %d, RegionPoints said %d", pt, raw[pt], l)
+			}
+		}
+		total += len(pts)
+	}
+	transit := p.TransitDomains * p.TransitPerDom
+	if total != ts.Size()-transit {
+		t.Fatalf("regions cover %d points, want %d", total, ts.Size()-transit)
+	}
+
+	// Spaces without region structure return nil from both helpers.
+	if RegionLabels(NewRing(8)) != nil || RegionPoints(NewRing(8), 0) != nil {
+		t.Fatal("ring space reported region structure")
 	}
 }

@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"tapestry/internal/metric"
+)
+
+// faultNet builds a small fully-attached network over a ring space.
+func faultNet(t *testing.T, size int) *Network {
+	t.Helper()
+	n := New(metric.NewRing(size))
+	for a := 0; a < size; a++ {
+		n.Attach(Addr(a))
+	}
+	return n
+}
+
+// drive sends a fixed deterministic message pattern and returns the per-op
+// cost ledger alongside the outcome of each send.
+func drive(n *Network, msgs int) (cost *Cost, errs []error) {
+	cost = &Cost{}
+	size := n.Size()
+	for i := 0; i < msgs; i++ {
+		from := Addr(i % size)
+		to := Addr((i*7 + 3) % size)
+		errs = append(errs, n.Send(from, to, cost, true))
+	}
+	return cost, errs
+}
+
+// TestFaultFreeDefaultIdentical pins the satellite claim: a network that
+// never configured faults behaves byte-identically to one that configured
+// and then cleared them — same per-op cost, same network counters, zero
+// fault accounting on the former.
+func TestFaultFreeDefaultIdentical(t *testing.T) {
+	virgin := faultNet(t, 32)
+	cycled := faultNet(t, 32)
+	cycled.SetLinkFaults(0.5, 0.25, 99)
+	group := make([]int, 32)
+	for i := 16; i < 32; i++ {
+		group[i] = 1
+	}
+	cycled.SetPartition(group)
+	cycled.ClearFaults()
+
+	vc, verrs := drive(virgin, 200)
+	cc, cerrs := drive(cycled, 200)
+
+	for i := range verrs {
+		if (verrs[i] == nil) != (cerrs[i] == nil) {
+			t.Fatalf("send %d: virgin err=%v cycled err=%v", i, verrs[i], cerrs[i])
+		}
+	}
+	vm, vh, vd := vc.Snapshot()
+	cm, ch, cd := cc.Snapshot()
+	if vm != cm || vh != ch || vd != cd {
+		t.Fatalf("cost diverged: virgin (%d,%d,%g) vs cycled (%d,%d,%g)", vm, vh, vd, cm, ch, cd)
+	}
+	vs, cs := virgin.Stats(), cycled.Stats()
+	if vs != cs {
+		t.Fatalf("stats diverged: virgin %+v vs cycled %+v", vs, cs)
+	}
+	if vs.Lost != 0 || vs.Duplicated != 0 || vs.Blocked != 0 {
+		t.Fatalf("fault counters nonzero on fault-free run: %+v", vs)
+	}
+	if vs.TotalMessages != 200 {
+		t.Fatalf("TotalMessages = %d, want 200", vs.TotalMessages)
+	}
+}
+
+func TestLinkLossAll(t *testing.T) {
+	n := faultNet(t, 16)
+	n.SetLinkFaults(1.0, 0, 7)
+	cost, errs := drive(n, 50)
+	for i, err := range errs {
+		if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("send %d: err = %v, want ErrUnreachable", i, err)
+		}
+	}
+	s := n.Stats()
+	if s.Lost != 50 || s.Duplicated != 0 || s.Blocked != 0 {
+		t.Fatalf("stats = %+v, want 50 lost only", s)
+	}
+	// The attempt is still charged.
+	if m := cost.Messages(); m != 50 {
+		t.Fatalf("cost.Messages = %d, want 50", m)
+	}
+}
+
+func TestDuplicationAll(t *testing.T) {
+	n := faultNet(t, 16)
+	n.EnableLoadTracking()
+	n.SetLinkFaults(0, 1.0, 7)
+	cost, errs := drive(n, 50)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("send %d: unexpected error %v", i, err)
+		}
+	}
+	s := n.Stats()
+	if s.Duplicated != 50 || s.Lost != 0 || s.Blocked != 0 {
+		t.Fatalf("stats = %+v, want 50 duplicated only", s)
+	}
+	if s.TotalMessages != 100 {
+		t.Fatalf("TotalMessages = %d, want 100 (each message doubled)", s.TotalMessages)
+	}
+	m, h, _ := cost.Snapshot()
+	if m != 100 || h != 50 {
+		t.Fatalf("cost = (%d msgs, %d hops), want (100, 50): duplicates are not hops", m, h)
+	}
+	var load int64
+	for a := 0; a < n.Size(); a++ {
+		load += n.LoadAt(Addr(a))
+	}
+	if load != 100 {
+		t.Fatalf("summed load = %d, want 100", load)
+	}
+}
+
+func TestPartialLossIsSeededAndBounded(t *testing.T) {
+	runOnce := func() (int64, []error) {
+		n := faultNet(t, 16)
+		n.SetLinkFaults(0.3, 0, 42)
+		_, errs := drive(n, 400)
+		return n.Stats().Lost, errs
+	}
+	lostA, errsA := runOnce()
+	lostB, errsB := runOnce()
+	if lostA != lostB {
+		t.Fatalf("same seed lost %d vs %d messages", lostA, lostB)
+	}
+	for i := range errsA {
+		if (errsA[i] == nil) != (errsB[i] == nil) {
+			t.Fatalf("send %d fate differs across identically seeded runs", i)
+		}
+	}
+	if lostA < 60 || lostA > 180 {
+		t.Fatalf("lost %d of 400 at rate 0.3 — far outside plausible range", lostA)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := faultNet(t, 16)
+	group := make([]int, 16)
+	for i := 8; i < 16; i++ {
+		group[i] = 1
+	}
+	n.SetPartition(group)
+
+	cost := &Cost{}
+	if err := n.Send(0, 7, cost, true); err != nil {
+		t.Fatalf("same-side send failed: %v", err)
+	}
+	err := n.Send(0, 12, cost, true)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cross-cut send err = %v, want ErrUnreachable", err)
+	}
+	if err := n.RPC(9, 15, cost); err != nil {
+		t.Fatalf("minority-side RPC failed: %v", err)
+	}
+	if s := n.Stats(); s.Blocked != 1 {
+		t.Fatalf("Blocked = %d, want 1", s.Blocked)
+	}
+
+	n.HealPartition()
+	if err := n.Send(0, 12, cost, true); err != nil {
+		t.Fatalf("post-heal send failed: %v", err)
+	}
+	if s := n.Stats(); s.Blocked != 1 {
+		t.Fatalf("Blocked grew after heal: %+v", s)
+	}
+}
+
+// TestPartitionSurvivesLinkFaultReconfig pins the copy-on-write contract:
+// changing one knob keeps the other, and the draw stream survives
+// partition-only changes.
+func TestPartitionSurvivesLinkFaultReconfig(t *testing.T) {
+	n := faultNet(t, 16)
+	group := make([]int, 16)
+	for i := 8; i < 16; i++ {
+		group[i] = 1
+	}
+	n.SetPartition(group)
+	n.SetLinkFaults(0, 1.0, 3) // all-duplicate: deterministic without draws
+	cost := &Cost{}
+	if err := n.Send(0, 12, cost, true); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("partition dropped by SetLinkFaults: err = %v", err)
+	}
+	if err := n.Send(0, 7, cost, true); err != nil {
+		t.Fatalf("same-side send failed: %v", err)
+	}
+	n.HealPartition()
+	if err := n.Send(0, 12, cost, true); err != nil {
+		t.Fatalf("post-heal send failed: %v", err)
+	}
+	if s := n.Stats(); s.Duplicated != 2 || s.Blocked != 1 {
+		t.Fatalf("stats = %+v, want 2 duplicated, 1 blocked", s)
+	}
+}
+
+func TestFaultRateValidation(t *testing.T) {
+	n := faultNet(t, 8)
+	for _, c := range []struct{ loss, dup float64 }{
+		{-0.1, 0}, {0, -0.1}, {1.1, 0}, {0, 1.1}, {0.6, 0.6},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetLinkFaults(%v, %v) did not panic", c.loss, c.dup)
+				}
+			}()
+			n.SetLinkFaults(c.loss, c.dup, 1)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetPartition with short mask did not panic")
+			}
+		}()
+		n.SetPartition([]int{0, 1})
+	}()
+}

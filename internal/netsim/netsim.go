@@ -18,9 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"tapestry/internal/metric"
+	"tapestry/internal/stats"
 )
 
 // Addr is a point index in the underlying metric space.
@@ -191,6 +193,167 @@ type Network struct {
 	// backend with exactly the pre-engine semantics. Attach before any
 	// traffic; the field is then read-only.
 	engine *Engine
+
+	// faults, when non-nil, is the installed fault-injection configuration
+	// (partition mask and/or seeded loss/duplication rates). The fault-free
+	// default is the nil pointer, so the only overhead on today's Send path
+	// is a single atomic load. Configurations are immutable; the setters
+	// swap whole states (copy-on-write), so a Send racing a reconfiguration
+	// sees either the old or the new state, never a torn one.
+	faults atomic.Pointer[faultState]
+
+	lost       atomic.Int64 // messages dropped by injected link loss
+	duplicated atomic.Int64 // extra deliveries from injected duplication
+	blocked    atomic.Int64 // messages refused across an active partition cut
+}
+
+// Stats is a snapshot of the network-wide message counters, including
+// injected-fault accounting. With no faults ever configured the three fault
+// counters are exactly zero.
+type Stats struct {
+	TotalMessages int64 // every charged message, including duplicates
+	Lost          int64 // messages dropped by injected link loss
+	Duplicated    int64 // extra deliveries from injected duplication
+	Blocked       int64 // messages refused across an active partition cut
+}
+
+// Stats returns the current network-wide counter snapshot. Fields are read
+// individually (atomics); quiesce traffic for a fully coherent set, as every
+// experiment in this repository does between phases.
+func (n *Network) Stats() Stats {
+	return Stats{
+		TotalMessages: n.totalMessages.Load(),
+		Lost:          n.lost.Load(),
+		Duplicated:    n.duplicated.Load(),
+		Blocked:       n.blocked.Load(),
+	}
+}
+
+// faultRNG is the seeded SplitMix64 stream behind per-message loss and
+// duplication draws. It is shared (by pointer) across copy-on-write fault
+// states so reconfiguring the partition mid-run does not rewind the stream.
+// The mutex serialises concurrent Send draws; fault-free runs never touch it.
+type faultRNG struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// uniform returns the next draw in [0,1).
+func (r *faultRNG) uniform() float64 {
+	r.mu.Lock()
+	r.state = stats.SplitMix64(r.state)
+	u := r.state
+	r.mu.Unlock()
+	return float64(u>>11) / (1 << 53)
+}
+
+// faultState is one immutable fault-injection configuration.
+type faultState struct {
+	loss float64 // per-message drop probability
+	dup  float64 // per-message duplication probability
+	rng  *faultRNG
+	// partition, when non-nil, assigns every address to a group; messages
+	// whose endpoints fall in different groups are refused.
+	partition []int
+}
+
+// empty reports whether the state injects nothing (and can be stored as nil).
+func (f *faultState) empty() bool {
+	return f.loss == 0 && f.dup == 0 && f.partition == nil
+}
+
+// sendVerdict is the per-message fault decision.
+type sendVerdict uint8
+
+const (
+	verdictDeliver sendVerdict = iota
+	verdictBlocked
+	verdictLost
+	verdictDuplicated
+)
+
+// judge decides the fate of one message. The partition check consumes no
+// randomness; loss and duplication share a single uniform draw (loss wins
+// ties), so a message stream under rates (l, d) and one under (l, 0) consume
+// the seeded stream identically.
+func (f *faultState) judge(from, to Addr) sendVerdict {
+	if f.partition != nil && f.partition[from] != f.partition[to] {
+		return verdictBlocked
+	}
+	if f.loss > 0 || f.dup > 0 {
+		u := f.rng.uniform()
+		if u < f.loss {
+			return verdictLost
+		}
+		if u < f.loss+f.dup {
+			return verdictDuplicated
+		}
+	}
+	return verdictDeliver
+}
+
+// SetLinkFaults installs seeded per-message loss and duplication rates at the
+// Send seam. Each rate must lie in [0,1] with loss+dup <= 1 (a message is
+// lost, duplicated, or delivered — exclusively). Setting both to zero removes
+// link faults while keeping any partition mask. The draw stream is reseeded
+// on every call; an existing stream survives partition-only changes.
+//
+// Like EnableLoadTracking, reconfiguration is not synchronised against
+// in-flight traffic — call it from the single scenario/control goroutine
+// while no operation is mid-Send for exact per-message accounting.
+func (n *Network) SetLinkFaults(loss, dup float64, seed int64) {
+	if loss < 0 || dup < 0 || loss > 1 || dup > 1 || loss+dup > 1 ||
+		math.IsNaN(loss) || math.IsNaN(dup) {
+		panic(fmt.Sprintf("netsim: invalid link-fault rates loss=%v dup=%v", loss, dup))
+	}
+	next := &faultState{loss: loss, dup: dup}
+	if loss > 0 || dup > 0 {
+		next.rng = &faultRNG{state: stats.SplitMix64(uint64(seed))}
+	}
+	if cur := n.faults.Load(); cur != nil {
+		next.partition = cur.partition
+	}
+	n.storeFaults(next)
+}
+
+// SetPartition installs a reachability mask: group assigns every address an
+// integer side, and Send refuses (and counts as Blocked) any message whose
+// endpoints lie on different sides. len(group) must equal Size(). The slice
+// is copied. Link-fault rates, if configured, survive.
+func (n *Network) SetPartition(group []int) {
+	if len(group) != n.size {
+		panic(fmt.Sprintf("netsim: partition mask has %d entries for %d addresses", len(group), n.size))
+	}
+	next := &faultState{partition: append([]int(nil), group...)}
+	if cur := n.faults.Load(); cur != nil {
+		next.loss, next.dup, next.rng = cur.loss, cur.dup, cur.rng
+	}
+	n.storeFaults(next)
+}
+
+// HealPartition removes the partition mask, keeping any link-fault rates.
+func (n *Network) HealPartition() {
+	cur := n.faults.Load()
+	if cur == nil || cur.partition == nil {
+		return
+	}
+	n.storeFaults(&faultState{loss: cur.loss, dup: cur.dup, rng: cur.rng})
+}
+
+// ClearFaults removes all fault injection, restoring the exact fault-free
+// Send path. Counters are cumulative and are not reset.
+func (n *Network) ClearFaults() {
+	n.faults.Store(nil)
+}
+
+// storeFaults publishes a new configuration, normalising the do-nothing
+// state to the nil pointer so the fault-free Send path stays a single
+// atomic null check.
+func (n *Network) storeFaults(f *faultState) {
+	if f.empty() {
+		f = nil
+	}
+	n.faults.Store(f)
 }
 
 // New creates a network over the given metric space with all addresses
@@ -284,15 +447,43 @@ func (n *Network) Send(from, to Addr, cost *Cost, hop bool) error {
 	}
 	d := n.Distance(from, to)
 	cost.Add(d, hop)
+	// The fault verdict is decided after the attempt is charged — a dropped
+	// or refused message consumed the sender's resources — but before the
+	// engine park, so the draw order is independent of virtual-time
+	// interleaving (one stream position per charged message).
+	verdict := verdictDeliver
+	if f := n.faults.Load(); f != nil {
+		verdict = f.judge(from, to)
+	}
 	if e := n.engine; e != nil && e.active() {
 		// Event-driven backend: the message is in flight for its metric
 		// distance (plus any inbound-queue wait at the receiver); the op
 		// parks until the delivery event fires. Liveness is then checked at
 		// delivery time — the receiver may have died (or appeared) while the
 		// message was in the air, which the direct-call model cannot express.
+		// Lost and partition-refused messages still park: the sender learns
+		// of the failure by timeout, which takes at least as long.
 		cost.Stamp(e.Now())
 		e.transmit(to, d)
 		cost.Stamp(e.Now())
+	}
+	switch verdict {
+	case verdictBlocked:
+		n.blocked.Add(1)
+		return fmt.Errorf("%w: %d -> %d (partitioned)", ErrUnreachable, from, to)
+	case verdictLost:
+		n.lost.Add(1)
+		return fmt.Errorf("%w: %d -> %d (message lost)", ErrUnreachable, from, to)
+	case verdictDuplicated:
+		// The spurious copy consumes bandwidth and hits the receiver like
+		// any other message, but is not a routing hop and adds no latency
+		// beyond the original.
+		n.duplicated.Add(1)
+		n.totalMessages.Add(1)
+		if n.load != nil {
+			n.load[to].Add(1)
+		}
+		cost.Add(d, false)
 	}
 	if !n.Alive(to) {
 		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)

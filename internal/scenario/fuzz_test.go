@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzScenarioTimeline feeds arbitrary byte strings through the builder and
+// combinators: whatever the input, Build either rejects it or yields a
+// validated, time-ordered timeline, and the combinators preserve both — no
+// panics anywhere. This is the CI smoke target for the DSL.
+func FuzzScenarioTimeline(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 10, 2, 20, 3, 30, 4, 40, 5, 50, 6, 60, 7, 70, 8, 80, 9, 90, 10, 100})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := New("fuzz")
+		for len(data) >= 9 {
+			kind := data[0]
+			bits := binary.LittleEndian.Uint64(data[1:9])
+			// Map the raw word onto a time; deliberately allow NaN, Inf
+			// and negatives so validation is exercised, not avoided.
+			at := math.Float64frombits(bits)
+			if kind%4 == 0 {
+				at = float64(bits % 1000) // mostly sane times
+			}
+			rate := float64(bits%256) / 200 // 0..1.275: sometimes invalid
+			count := int(int8(data[1]))     // sometimes negative
+			var ev Event
+			switch kind % 12 {
+			case 0:
+				ev = Phase{Name: string(rune('a' + kind%26))}
+			case 1:
+				ev = RegionBlackout{Pick: count}
+			case 2:
+				ev = RegionRestore{Pick: count}
+			case 3:
+				ev = Partition{Frac: rate}
+			case 4:
+				ev = Heal{}
+			case 5:
+				ev = LinkFaults{Loss: rate, Dup: rate / 2}
+			case 6:
+				ev = FlashCrowd{Count: count, Hot: rate}
+			case 7:
+				ev = JoinStampede{Count: count}
+			case 8:
+				ev = Churn{JoinMean: rate * 4, LeaveMean: rate, CrashMean: at}
+			case 9:
+				ev = Queries{Count: count}
+			case 10:
+				ev = Maintain{}
+			case 11:
+				var phase Phase // zero value: invalid, must be rejected
+				ev = phase
+			}
+			b.At(at, ev)
+			data = data[9:]
+		}
+		s, err := b.Build()
+		if err != nil {
+			return
+		}
+		check := func(s Scenario) {
+			t.Helper()
+			if !sort.SliceIsSorted(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At }) {
+				t.Fatalf("scenario %q out of time order", s.Name)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("built scenario fails validation: %v", err)
+			}
+			if end := s.End(); len(s.Events) > 0 && end != s.Events[len(s.Events)-1].At {
+				t.Fatalf("End() = %v disagrees with last event", end)
+			}
+		}
+		check(s)
+		check(Seq("seq", s, s))
+		check(Overlay("overlay", s, s))
+		check(Repeat("repeat", 3, s))
+	})
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func timeOrdered(t *testing.T, s Scenario) {
+	t.Helper()
+	if !sort.SliceIsSorted(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At }) {
+		t.Fatalf("scenario %q events out of time order", s.Name)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scenario %q invalid: %v", s.Name, err)
+	}
+}
+
+func TestBuilderSortsStably(t *testing.T) {
+	s, err := New("x").
+		At(5, Queries{Count: 1}).
+		At(0, Phase{Name: "a"}, Maintain{}).
+		At(5, Heal{}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeOrdered(t, s)
+	if len(s.Events) != 4 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	// Same-time events keep insertion order: Queries (added first) before Heal.
+	if _, ok := s.Events[2].Ev.(Queries); !ok {
+		t.Fatalf("event 2 = %v, want queries first at t=5", s.Events[2].Ev)
+	}
+	if _, ok := s.Events[3].Ev.(Heal); !ok {
+		t.Fatalf("event 3 = %v, want heal second at t=5", s.Events[3].Ev)
+	}
+	if s.End() != 5 {
+		t.Fatalf("End = %v", s.End())
+	}
+}
+
+func TestBuilderRejectsBadEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"negative time", New("x").At(-1, Maintain{})},
+		{"NaN time", New("x").At(math.NaN(), Maintain{})},
+		{"inf time", New("x").At(math.Inf(1), Maintain{})},
+		{"nil event", New("x").At(0, nil)},
+		{"empty phase", New("x").At(0, Phase{})},
+		{"bad partition", New("x").At(0, Partition{Frac: 0})},
+		{"partition over 1", New("x").At(0, Partition{Frac: 1.5})},
+		{"NaN partition", New("x").At(0, Partition{Frac: math.NaN()})},
+		{"loss+dup over 1", New("x").At(0, LinkFaults{Loss: 0.7, Dup: 0.7})},
+		{"negative loss", New("x").At(0, LinkFaults{Loss: -0.1})},
+		{"NaN dup", New("x").At(0, LinkFaults{Dup: math.NaN()})},
+		{"negative queries", New("x").At(0, Queries{Count: -1})},
+		{"negative stampede", New("x").At(0, JoinStampede{Count: -1})},
+		{"hot fraction", New("x").At(0, FlashCrowd{Count: 1, Hot: 2})},
+		{"NaN churn", New("x").At(0, Churn{JoinMean: math.NaN()})},
+		{"negative churn", New("x").At(0, Churn{CrashMean: -1})},
+		{"negative pick", New("x").At(0, RegionBlackout{Pick: -1})},
+	}
+	for _, c := range cases {
+		if _, err := c.b.Build(); err == nil {
+			t.Errorf("%s: Build succeeded", c.name)
+		}
+	}
+}
+
+func TestSeqOffsetsParts(t *testing.T) {
+	a := New("a").At(0, Phase{Name: "p1"}).At(4, Maintain{}).MustBuild()
+	b := New("b").At(0, Phase{Name: "p2"}).At(2, Heal{}).MustBuild()
+	s := Seq("ab", a, b)
+	timeOrdered(t, s)
+	if len(s.Events) != 4 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	// Part b starts one unit after part a ends (at 4): phase p2 at 5, heal at 7.
+	if s.Events[2].At != 5 || s.Events[3].At != 7 {
+		t.Fatalf("part b at %v and %v, want 5 and 7", s.Events[2].At, s.Events[3].At)
+	}
+}
+
+func TestOverlayMergesPartMajor(t *testing.T) {
+	a := New("a").At(3, Maintain{}).MustBuild()
+	b := New("b").At(3, Heal{}).At(1, Phase{Name: "p"}).MustBuild()
+	s := Overlay("ab", a, b)
+	timeOrdered(t, s)
+	if len(s.Events) != 3 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	// At t=3 part a's Maintain precedes part b's Heal.
+	if _, ok := s.Events[1].Ev.(Maintain); !ok {
+		t.Fatalf("event 1 = %v, want maintain", s.Events[1].Ev)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	part := New("p").At(0, Maintain{}).At(3, Heal{}).MustBuild()
+	s := Repeat("r", 3, part)
+	timeOrdered(t, s)
+	if len(s.Events) != 6 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	if s.End() != 3+4+4 {
+		t.Fatalf("End = %v, want 11", s.End())
+	}
+	if len(Repeat("r", 0, part).Events) != 0 {
+		t.Fatal("Repeat(0) not empty")
+	}
+}
+
+func TestRampInterpolates(t *testing.T) {
+	s, err := Ramp("r", 10, 5, 3, LinkFaults{}, LinkFaults{Loss: 0.2, Dup: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeOrdered(t, s)
+	if len(s.Events) != 3 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	mid := s.Events[1].Ev.(LinkFaults)
+	if math.Abs(mid.Loss-0.1) > 1e-12 || math.Abs(mid.Dup-0.05) > 1e-12 {
+		t.Fatalf("midpoint = %+v, want loss 0.1 dup 0.05", mid)
+	}
+	if s.Events[1].At != 15 || s.Events[2].At != 20 {
+		t.Fatalf("step times %v, %v", s.Events[1].At, s.Events[2].At)
+	}
+	// A ramp to invalid rates fails like any other bad event.
+	if _, err := Ramp("bad", 0, 1, 2, LinkFaults{}, LinkFaults{Loss: 1.5}); err == nil {
+		t.Fatal("invalid ramp built")
+	}
+	// steps < 2 degenerates to the target rates.
+	one, err := Ramp("one", 7, 1, 1, LinkFaults{}, LinkFaults{Loss: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Events) != 1 || one.Events[0].At != 7 || one.Events[0].Ev.(LinkFaults).Loss != 0.3 {
+		t.Fatalf("degenerate ramp = %+v", one.Events)
+	}
+}
+
+func TestNamedSuite(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("suite has %d scenarios: %v", len(names), names)
+	}
+	for _, n := range names {
+		s, err := Named(n, DefaultSpec())
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		timeOrdered(t, s)
+		phases := 0
+		for _, te := range s.Events {
+			if _, ok := te.Ev.(Phase); ok {
+				phases++
+			}
+		}
+		if phases < 3 {
+			t.Errorf("%s: only %d phases", n, phases)
+		}
+		if _, ok := s.Events[0].Ev.(Phase); !ok {
+			t.Errorf("%s: first event %v is not a phase marker", n, s.Events[0].Ev)
+		}
+	}
+	if _, err := Named("no-such", DefaultSpec()); err == nil {
+		t.Fatal("unknown scenario built")
+	}
+}

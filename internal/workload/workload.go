@@ -90,7 +90,14 @@ type ChurnOp struct {
 // ChurnSchedule interleaves joins and leaves: `joins` joins and `leaves`
 // leaves in random order (never letting planned leaves outnumber prior
 // joins, so the population cannot go negative).
+//
+// Edge cases are explicit contract, not accident: negative counts panic,
+// leaves > joins panics (the invariant above would be unsatisfiable), and
+// (0, 0) returns an empty schedule.
 func ChurnSchedule(joins, leaves int, rng *rand.Rand) []ChurnOp {
+	if joins < 0 || leaves < 0 {
+		panic(fmt.Sprintf("workload: negative churn counts (joins=%d leaves=%d)", joins, leaves))
+	}
 	if leaves > joins {
 		panic("workload: more leaves than joins")
 	}
@@ -116,12 +123,27 @@ func ChurnSchedule(joins, leaves int, rng *rand.Rand) []ChurnOp {
 // minPopulation — the guard is on the plan; executors additionally bound
 // victims by the live set at execution time. Everything is driven by the
 // explicit RNG, so schedules replay exactly.
+//
+// Parameter edge cases, as contract: a zero mean yields zero events of that
+// kind every epoch (it does not disable the other streams); negative or NaN
+// means panic rather than silently degenerating (a NaN mean would spin the
+// sampler forever); minPopulation below 1 is clamped to 1 — a plan can never
+// empty the overlay — and population below the (clamped) minimum panics;
+// epochs <= 0 returns an empty schedule.
 func PoissonChurn(epochs int, population, minPopulation int, joinMean, leaveMean, crashMean float64, rng *rand.Rand) [][]ChurnOp {
+	for _, m := range []float64{joinMean, leaveMean, crashMean} {
+		if m < 0 || math.IsNaN(m) {
+			panic(fmt.Sprintf("workload: invalid churn mean %v", m))
+		}
+	}
 	if minPopulation < 1 {
 		minPopulation = 1
 	}
 	if population < minPopulation {
 		panic("workload: population below minimum")
+	}
+	if epochs < 0 {
+		epochs = 0
 	}
 	sched := make([][]ChurnOp, epochs)
 	pop := population
@@ -152,6 +174,51 @@ func PoissonChurn(epochs int, population, minPopulation int, joinMean, leaveMean
 		pop += joins - leaves - crashes
 	}
 	return sched
+}
+
+// FlashCrowdQueries draws q (client, object) pairs where fraction `hot` of
+// the queries target the single object `hotObject` and the remainder follow
+// the usual Zipf(s) background mix — the flash-crowd storm of the chaos
+// scenarios, where one object abruptly dominates the workload. hot must lie
+// in [0,1]; hotObject must be a valid object index. Clients are uniform
+// throughout. Exactly one rng draw decides hot-vs-background per query, so
+// mixes with different `hot` under the same seed stay aligned.
+func FlashCrowdQueries(q, nClients, nObjects, hotObject int, hot float64, s float64, rng *rand.Rand) QueryMix {
+	if hot < 0 || hot > 1 || math.IsNaN(hot) {
+		panic(fmt.Sprintf("workload: flash-crowd hot fraction %v outside [0,1]", hot))
+	}
+	if hotObject < 0 || hotObject >= nObjects {
+		panic(fmt.Sprintf("workload: hot object %d outside [0,%d)", hotObject, nObjects))
+	}
+	if s <= 1 {
+		panic("workload: zipf exponent must exceed 1")
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(nObjects-1))
+	m := QueryMix{Clients: make([]int, q), Objects: make([]int, q)}
+	for i := 0; i < q; i++ {
+		m.Clients[i] = rng.Intn(nClients)
+		if rng.Float64() < hot {
+			m.Objects[i] = hotObject
+		} else {
+			m.Objects[i] = int(z.Uint64())
+		}
+	}
+	return m
+}
+
+// JoinStampede returns a burst of `joins` back-to-back join operations — the
+// adversarial complement of PoissonChurn's smooth arrivals, stressing the
+// concurrent-join machinery (§4.4) with a correlated arrival wave. Negative
+// counts panic.
+func JoinStampede(joins int) []ChurnOp {
+	if joins < 0 {
+		panic(fmt.Sprintf("workload: negative stampede size %d", joins))
+	}
+	ops := make([]ChurnOp, joins)
+	for i := range ops {
+		ops[i] = ChurnOp{Join: true}
+	}
+	return ops
 }
 
 // poisson samples Poisson(mean) by Knuth's product-of-uniforms method.

@@ -220,6 +220,15 @@ type Config struct {
 	// time. Operations invoked outside Schedule/RunEvents keep direct-call
 	// semantics. See the README "Execution model" section.
 	EventDriven bool
+	// LinkLossRate and LinkDupRate inject seeded link faults from creation:
+	// each message is independently dropped (the sender learns only by
+	// timeout) or delivered twice with these probabilities. Both zero (the
+	// default) keeps the network's behavior bit-identical to builds without
+	// fault injection; rates must lie in [0,1] with their sum at most 1.
+	// The draw stream derives from Seed, so runs replay exactly. See also
+	// Network.SetLinkFaults for mid-run reconfiguration.
+	LinkLossRate float64
+	LinkDupRate  float64
 }
 
 // Defaults returns the deployed-Tapestry configuration: hexadecimal digits,
@@ -271,6 +280,7 @@ type Network struct {
 	proto overlay.Protocol
 	mesh  *core.Mesh // non-nil only for Tapestry (extended surface)
 	sim   *netsim.Network
+	seed  int64 // fault-injection draw stream (see SetLinkFaults)
 
 	mu   sync.Mutex
 	rng  *rand.Rand
@@ -296,6 +306,12 @@ func NewProtocol(space Space, p Protocol, cfg Config) (*Network, error) {
 	if cfg.EventDriven {
 		sim.AttachEngine(netsim.NewEngine(cfg.Seed))
 	}
+	if cfg.LinkLossRate != 0 || cfg.LinkDupRate != 0 {
+		if err := validFaultRates(cfg.LinkLossRate, cfg.LinkDupRate); err != nil {
+			return nil, err
+		}
+		sim.SetLinkFaults(cfg.LinkLossRate, cfg.LinkDupRate, cfg.Seed)
+	}
 	proto, err := b.New(sim, cfg.toOverlay(p))
 	if err != nil {
 		return nil, err
@@ -304,6 +320,7 @@ func NewProtocol(space Space, p Protocol, cfg Config) (*Network, error) {
 		kind:  p,
 		proto: proto,
 		sim:   sim,
+		seed:  cfg.Seed,
 		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 	}
 	nw.mesh, _ = overlay.CoreMesh(proto)
@@ -364,6 +381,35 @@ func (nw *Network) Nodes() []*Node {
 
 // TotalMessages returns the network-wide message count since creation.
 func (nw *Network) TotalMessages() int64 { return nw.sim.TotalMessages() }
+
+// validFaultRates rejects rates outside [0,1] or summing past 1 (NaN
+// included) before they reach the simulator, which treats them as a
+// programming error.
+func validFaultRates(loss, dup float64) error {
+	ok := func(r float64) bool { return r >= 0 && r <= 1 }
+	if !ok(loss) || !ok(dup) || !(loss+dup <= 1) {
+		return fmt.Errorf("tapestry: invalid link fault rates loss=%v dup=%v (want [0,1], sum <= 1)", loss, dup)
+	}
+	return nil
+}
+
+// SetLinkFaults reconfigures seeded link-fault injection mid-run: each
+// subsequent message is independently dropped with probability loss (the
+// sender learns only by timeout) or delivered twice with probability dup.
+// Zero rates restore fault-free delivery; the injected-fault tallies appear
+// in Stats. The draw stream derives from the network's seed, so identically
+// seeded runs replay exactly.
+func (nw *Network) SetLinkFaults(loss, dup float64) error {
+	if err := validFaultRates(loss, dup); err != nil {
+		return err
+	}
+	nw.sim.SetLinkFaults(loss, dup, nw.seed)
+	return nil
+}
+
+// ClearFaults removes all injected link faults and any partition mask,
+// restoring fault-free delivery.
+func (nw *Network) ClearFaults() { nw.sim.ClearFaults() }
 
 // ErrNotEventDriven is returned by the virtual-time surface (Schedule,
 // RunEvents) on a network built without Config.EventDriven.
@@ -720,11 +766,18 @@ type Stats struct {
 	// replication capability.
 	Roots    int // salted roots per object
 	Replicas int // replica servers per publish
+
+	// Fault-injection counters; all zero unless link faults or a partition
+	// were configured (Config.LinkLossRate/LinkDupRate, SetLinkFaults).
+	LinkLost       int64 // messages dropped by injected link loss
+	LinkDuplicated int64 // messages delivered twice by injected duplication
+	LinkBlocked    int64 // messages refused by a partition mask
 }
 
 // Stats returns a snapshot of overlay-wide statistics.
 func (nw *Network) Stats() Stats {
 	os := nw.proto.Stats()
+	ns := nw.sim.Stats()
 	return Stats{
 		Nodes:           os.Nodes,
 		TotalMessages:   os.TotalMessages,
@@ -735,6 +788,9 @@ func (nw *Network) Stats() Stats {
 		LocateCacheMiss: os.CacheMisses,
 		Roots:           os.Roots,
 		Replicas:        os.Replicas,
+		LinkLost:        ns.Lost,
+		LinkDuplicated:  ns.Duplicated,
+		LinkBlocked:     ns.Blocked,
 	}
 }
 
@@ -751,6 +807,10 @@ func (s Stats) String() string {
 	}
 	if s.Roots > 1 || s.Replicas > 1 {
 		out += fmt.Sprintf(" roots=%d replicas=%d", s.Roots, s.Replicas)
+	}
+	if s.LinkLost+s.LinkDuplicated+s.LinkBlocked > 0 {
+		out += fmt.Sprintf(" lost=%d dup=%d blocked=%d",
+			s.LinkLost, s.LinkDuplicated, s.LinkBlocked)
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package tapestry
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -151,5 +152,60 @@ func TestFacadeStubLocality(t *testing.T) {
 	}
 	if !found {
 		t.Error("nobody found the regional object")
+	}
+}
+
+func TestFacadeLinkFaults(t *testing.T) {
+	cfg := Defaults()
+	cfg.LinkLossRate = 0.5
+	// The oracle static build constructs the mesh without messages: the
+	// injected loss then hits only the measured lookups, not the joins.
+	cfg.StaticBuild = true
+	nw, err := New(RingSpace(128), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := nw.Grow(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Publish("stormy")
+	for _, n := range nodes {
+		n.Locate("stormy")
+	}
+	s := nw.Stats()
+	if s.LinkLost == 0 {
+		t.Fatalf("no messages lost at 50%% loss: %+v", s)
+	}
+	if s.String() == "" || !strings.Contains(s.String(), "lost=") {
+		t.Errorf("stats string omits fault tallies: %q", s.String())
+	}
+
+	// Clearing faults stops the injection: the tallies freeze. (Lookups are
+	// not asserted flawless — a loss mid-route makes the sender treat the
+	// silent peer as dead and evict it, and that routing-state scar
+	// legitimately outlives the faulty era; see the chaos README section.)
+	nw.ClearFaults()
+	before := nw.Stats().LinkLost
+	for _, n := range nodes {
+		n.Locate("stormy")
+	}
+	if got := nw.Stats().LinkLost; got != before {
+		t.Errorf("faults still injected after ClearFaults: %d -> %d", before, got)
+	}
+
+	// Mid-run reconfiguration validates its rates.
+	if err := nw.SetLinkFaults(0.1, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetLinkFaults(0.7, 0.7); err == nil {
+		t.Error("rates summing past 1 accepted")
+	}
+	if err := nw.SetLinkFaults(-0.1, 0); err == nil {
+		t.Error("negative rate accepted")
+	}
+	cfg.LinkLossRate, cfg.LinkDupRate = 2, 0
+	if _, err := New(RingSpace(64), cfg); err == nil {
+		t.Error("invalid Config.LinkLossRate accepted")
 	}
 }
